@@ -1,0 +1,386 @@
+// Benchmarks regenerating every figure of the paper's evaluation plus the
+// ablations called out in DESIGN.md §6. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Fig* benches use reduced grids (the full paper grids are run by
+// cmd/cpsexp and recorded in EXPERIMENTS.md); the point here is tracked,
+// repeatable cost per experiment pipeline, not the figures themselves.
+package cpsguard
+
+import (
+	"testing"
+
+	"cpsguard/internal/actors"
+	"cpsguard/internal/adversary"
+	"cpsguard/internal/core"
+	"cpsguard/internal/dcopf"
+	"cpsguard/internal/defense"
+	"cpsguard/internal/experiments"
+	"cpsguard/internal/flow"
+	"cpsguard/internal/gridgen"
+	"cpsguard/internal/impact"
+	"cpsguard/internal/lp"
+	"cpsguard/internal/parallel"
+	"cpsguard/internal/rng"
+	"cpsguard/internal/westgrid"
+)
+
+// benchCfg is the reduced experiment grid used by the Fig* benches.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		Trials:    2,
+		Seed:      1,
+		ActorGrid: []int{2, 6},
+		SigmaGrid: []float64{0, 0.3},
+		PaSamples: 6,
+		NoiseMode: core.MatrixNoise,
+	}
+}
+
+// BenchmarkWestgridDispatch measures the cost of one social-welfare
+// dispatch of the stressed six-state model (Figure 1's substrate).
+func BenchmarkWestgridDispatch(b *testing.B) {
+	g := westgrid.Build(westgrid.Options{Stress: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Dispatch(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImpactMatrix measures a full ground-truth impact matrix on the
+// stressed model (86 single-asset outages), the inner loop of every
+// experiment.
+func BenchmarkImpactMatrix(b *testing.B) {
+	g := westgrid.Build(westgrid.Options{Stress: true})
+	o := actors.RandomOwnership(g, 6, rng.New(1))
+	an := &impact.Analysis{Graph: g, Ownership: o}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.ComputeMatrix(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFig(b *testing.B, run func(experiments.Config) (*Table, error)) {
+	b.Helper()
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (gain/loss vs actors).
+func BenchmarkFig2(b *testing.B) { benchFig(b, experiments.Fig2) }
+
+// BenchmarkFig3 regenerates Figure 3 (SA profit vs noise).
+func BenchmarkFig3(b *testing.B) { benchFig(b, experiments.Fig3) }
+
+// BenchmarkFig4 regenerates Figure 4 (anticipated vs observed).
+func BenchmarkFig4(b *testing.B) { benchFig(b, experiments.Fig4) }
+
+// BenchmarkFig5 regenerates Figure 5 (defense effectiveness vs noise).
+func BenchmarkFig5(b *testing.B) { benchFig(b, experiments.Fig5) }
+
+// BenchmarkFig6 regenerates Figure 6 (collaborative vs independent).
+func BenchmarkFig6(b *testing.B) { benchFig(b, experiments.Fig6) }
+
+// BenchmarkFig7 regenerates Figure 7 (collaboration benefit vs actors).
+func BenchmarkFig7(b *testing.B) { benchFig(b, experiments.Fig7) }
+
+// BenchmarkExtBaselineComparison regenerates the economic-vs-topological
+// defense comparison (extension A).
+func BenchmarkExtBaselineComparison(b *testing.B) { benchFig(b, experiments.BaselineComparison) }
+
+// BenchmarkExtDeception regenerates the deception-defense curve
+// (extension B).
+func BenchmarkExtDeception(b *testing.B) { benchFig(b, experiments.Deception) }
+
+// BenchmarkExtAttackVectors regenerates the attack-vector family comparison
+// (extension C).
+func BenchmarkExtAttackVectors(b *testing.B) { benchFig(b, experiments.AttackVectors) }
+
+// BenchmarkExtSecurityPremium regenerates the N-1 security-premium trade-off
+// (extension D).
+func BenchmarkExtSecurityPremium(b *testing.B) { benchFig(b, experiments.SecurityPremium) }
+
+// BenchmarkExtHardening regenerates the binary-vs-graduated defense
+// comparison (extension E).
+func BenchmarkExtHardening(b *testing.B) { benchFig(b, experiments.HardeningComparison) }
+
+// --- Ablation: strategic adversary solvers (DESIGN.md §6).
+
+func adversaryBenchConfig(b *testing.B) adversary.Config {
+	b.Helper()
+	g := westgrid.Build(westgrid.Options{Stress: true})
+	s := core.NewScenario(g, 6, 3)
+	m, err := s.Truth()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return adversary.Config{
+		Matrix:  m,
+		Targets: adversary.UniformTargets(g.AssetIDs(), 1, 1),
+		Budget:  6,
+	}
+}
+
+// BenchmarkAdversaryExact measures the exact B&B target search on the full
+// 86-asset, 6-actor instance (the paper's Experiment 2 configuration).
+func BenchmarkAdversaryExact(b *testing.B) {
+	cfg := adversaryBenchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adversary.Solve(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdversaryGreedy measures the greedy heuristic on the same
+// instance.
+func BenchmarkAdversaryGreedy(b *testing.B) {
+	cfg := adversaryBenchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adversary.SolveGreedy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdversaryMILP measures the generic linearized MILP oracle on a
+// reduced instance (it is the cross-check, not the production path).
+func BenchmarkAdversaryMILP(b *testing.B) {
+	cfg := adversaryBenchConfig(b)
+	cfg.Targets = cfg.Targets[:12]
+	cfg.Budget = 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adversary.SolveMILP(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: profit-division models.
+
+func profitBenchSetup(b *testing.B) (*Graph, *flow.Result, Ownership) {
+	b.Helper()
+	g := westgrid.Build(westgrid.Options{Stress: true})
+	r, err := flow.Dispatch(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, r, actors.RandomOwnership(g, 6, rng.New(2))
+}
+
+// BenchmarkProfitDivisionLMP measures the dual-based settlement (no extra
+// LP solves).
+func BenchmarkProfitDivisionLMP(b *testing.B) {
+	g, r, o := profitBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (actors.LMPDivision{}).Divide(g, r, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfitDivisionIterative measures the paper's literal
+// capacity-probing relaxation (one LP re-solve per flow-carrying edge).
+func BenchmarkProfitDivisionIterative(b *testing.B) {
+	g, r, o := profitBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (actors.IterativeDivision{}).Divide(g, r, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: defense planners.
+
+func defenseBenchSetup(b *testing.B) (*impact.Matrix, Ownership, map[string]float64) {
+	b.Helper()
+	g := westgrid.Build(westgrid.Options{Stress: true})
+	s := core.NewScenario(g, 6, 5)
+	m, err := s.Truth()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pa := map[string]float64{}
+	for _, t := range m.Targets {
+		pa[t] = 0.25
+	}
+	return m, s.Ownership, pa
+}
+
+// BenchmarkDefenseIndependent measures all-actor independent planning
+// (Eqs. 12–14) on the full model.
+func BenchmarkDefenseIndependent(b *testing.B) {
+	m, o, pa := defenseBenchSetup(b)
+	costs := defense.UniformCosts(m.Targets, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := defense.PlanAllIndependent(m, o, pa, costs, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDefenseCollaborative measures cost-shared planning (Eqs. 15–18)
+// on the full model.
+func BenchmarkDefenseCollaborative(b *testing.B) {
+	m, o, pa := defenseBenchSetup(b)
+	costs := defense.UniformCosts(m.Targets, 1)
+	budgets := map[string]float64{}
+	for _, a := range m.Actors {
+		budgets[a] = 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := defense.PlanCollaborative(defense.CollaborativeConfig{
+			Matrix: m, Ownership: o,
+			AttackProb: defense.SharedAttackProb(m, pa),
+			Costs:      costs, Budget: budgets,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Parallel scaling of the Monte-Carlo trial loop.
+
+func benchTrialWork() func(int) (float64, error) {
+	g := westgrid.Build(westgrid.Options{Stress: true})
+	return func(i int) (float64, error) {
+		o := actors.RandomOwnership(g, 6, rng.Derive(9, uint64(i)))
+		an := &impact.Analysis{Graph: g, Ownership: o,
+			Parallel: parallel.Options{Workers: 1}}
+		m, err := an.ComputeMatrix(westgrid.LongHaulAssets(g))
+		if err != nil {
+			return 0, err
+		}
+		gain, _ := m.GainLoss()
+		return gain, nil
+	}
+}
+
+// BenchmarkTrialsSerial runs 8 ownership trials on one worker.
+func BenchmarkTrialsSerial(b *testing.B) {
+	work := benchTrialWork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := parallel.MeanOf(8, parallel.Options{Workers: 1}, work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrialsParallel runs the same 8 trials across all cores.
+func BenchmarkTrialsParallel(b *testing.B) {
+	work := benchTrialWork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := parallel.MeanOf(8, parallel.Options{}, work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: LP simplex methods (rows vs implicit bounds).
+
+func benchLPMethod(b *testing.B, m lp.Method) {
+	b.Helper()
+	g := westgrid.Build(westgrid.Options{Stress: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := flow.DispatchOpts(g, flow.Options{LP: lp.Options{Method: m}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPMethodRows dispatches westgrid with upper bounds lowered onto
+// explicit rows.
+func BenchmarkLPMethodRows(b *testing.B) { benchLPMethod(b, lp.MethodRows) }
+
+// BenchmarkLPMethodBounded dispatches westgrid with the bounded-variable
+// simplex.
+func BenchmarkLPMethodBounded(b *testing.B) { benchLPMethod(b, lp.MethodBounded) }
+
+// --- Scaling with system size (Section II-E4's computational-difficulty
+// discussion), on synthetic systems from internal/gridgen.
+
+func benchScaling(b *testing.B, regions int) {
+	b.Helper()
+	g, err := gridgen.Build(gridgen.Config{Regions: regions, Seed: 1, Stress: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := actors.RandomOwnership(g, regions, rng.New(1))
+	an := &impact.Analysis{Graph: g, Ownership: o}
+	m, err := an.ComputeMatrix(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := adversary.Config{
+		Matrix:  m,
+		Targets: adversary.UniformTargets(g.AssetIDs(), 1, 1),
+		Budget:  6,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adversary.Solve(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalingAdversary6 solves the SA on a 6-region synthetic system.
+func BenchmarkScalingAdversary6(b *testing.B) { benchScaling(b, 6) }
+
+// BenchmarkScalingAdversary12 solves the SA on a 12-region system.
+func BenchmarkScalingAdversary12(b *testing.B) { benchScaling(b, 12) }
+
+// BenchmarkScalingAdversary24 solves the SA on a 24-region system.
+func BenchmarkScalingAdversary24(b *testing.B) { benchScaling(b, 24) }
+
+// BenchmarkScalingDispatch48 dispatches a 48-region synthetic system
+// (~600 edges) — the LP substrate's scaling point.
+func BenchmarkScalingDispatch48(b *testing.B) {
+	g, err := gridgen.Build(gridgen.Config{Regions: 48, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Dispatch(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: transport dispatch vs DC-OPF physics (DESIGN.md §6).
+
+// BenchmarkDCOPFWestgrid solves the Kirchhoff-constrained dispatch of the
+// stressed six-state model (contrast substrate for the paper's
+// freely-routed transport model).
+func BenchmarkDCOPFWestgrid(b *testing.B) {
+	g := westgrid.Build(westgrid.Options{Stress: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dcopf.Solve(g, dcopf.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

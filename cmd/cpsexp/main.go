@@ -1,0 +1,95 @@
+// Command cpsexp regenerates the paper's evaluation figures (Figures 2–7)
+// on the built-in six-state model, printing each as an aligned table and
+// optionally writing CSVs.
+//
+// Usage:
+//
+//	cpsexp [-fig 2|3|4|5|6|7|all] [-trials N] [-seed S]
+//	       [-mode graph|matrix] [-csv DIR] [-quick]
+//
+// -quick shrinks grids and trial counts for a fast smoke run; the default
+// configuration reproduces the shapes reported in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cpsguard/internal/core"
+	"cpsguard/internal/experiments"
+	"cpsguard/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpsexp: ")
+	fig := flag.String("fig", "all", "figure to regenerate: 2..7, all, ext, baseline, deception, or vectors")
+	trials := flag.Int("trials", 5, "random ownership draws per point")
+	seed := flag.Uint64("seed", 1, "random seed")
+	mode := flag.String("mode", "graph", "noise mode: graph (faithful) or matrix (fast)")
+	csvDir := flag.String("csv", "", "also write fig<N>.csv files into this directory")
+	quick := flag.Bool("quick", false, "small grids for a fast smoke run")
+	chart := flag.Bool("chart", false, "also render each figure as an ASCII chart")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Trials: *trials,
+		Seed:   *seed,
+	}
+	if *mode == "matrix" {
+		cfg.NoiseMode = core.MatrixNoise
+	}
+	if *quick {
+		cfg.Trials = 2
+		cfg.ActorGrid = []int{2, 6}
+		cfg.SigmaGrid = []float64{0, 0.3}
+		cfg.PaSamples = 6
+		cfg.NoiseMode = core.MatrixNoise
+	}
+
+	runners := map[string]func(experiments.Config) (*stats.Table, error){
+		"2": experiments.Fig2, "3": experiments.Fig3, "4": experiments.Fig4,
+		"5": experiments.Fig5, "6": experiments.Fig6, "7": experiments.Fig7,
+		"baseline":  experiments.BaselineComparison,
+		"deception": experiments.Deception,
+		"vectors":   experiments.AttackVectors,
+		"security":  experiments.SecurityPremium,
+		"hardening": experiments.HardeningComparison,
+	}
+	var order []string
+	if *fig == "all" {
+		order = []string{"2", "3", "4", "5", "6", "7"}
+	} else if *fig == "ext" {
+		order = []string{"baseline", "deception", "vectors", "security", "hardening"}
+	} else if _, ok := runners[*fig]; ok {
+		order = []string{*fig}
+	} else {
+		log.Fatalf("unknown figure %q (want 2..7, all, ext, baseline, deception, vectors)", *fig)
+	}
+
+	for _, f := range order {
+		start := time.Now()
+		tb, err := runners[f](cfg)
+		if err != nil {
+			log.Fatalf("fig %s: %v", f, err)
+		}
+		fmt.Printf("%s\n(%.1fs)\n\n", tb.Render(), time.Since(start).Seconds())
+		if *chart {
+			fmt.Println(tb.Chart(72, 18))
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*csvDir, "fig"+f+".csv")
+			if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}

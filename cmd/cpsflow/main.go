@@ -1,0 +1,87 @@
+// Command cpsflow dispatches an energy model to its social-welfare optimum
+// and prints flows, nodal prices and (optionally) per-actor profits.
+//
+// Usage:
+//
+//	cpsflow [-model model.json] [-stress] [-actors N] [-seed S]
+//
+// Without -model the built-in six-state western-US model is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"cpsguard/internal/actors"
+	"cpsguard/internal/cli"
+	"cpsguard/internal/flow"
+	"cpsguard/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpsflow: ")
+	model := flag.String("model", "", "model JSON file (default: built-in westgrid)")
+	stress := flag.Bool("stress", true, "stress the built-in model (ignored with -model)")
+	nActors := flag.Int("actors", 0, "divide profits among N random actors (0 = skip)")
+	seed := flag.Uint64("seed", 1, "ownership random seed")
+	flag.Parse()
+
+	g, err := cli.LoadModel(*model, *stress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := flow.Dispatch(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(g)
+	fmt.Printf("social welfare: %.2f  demand served: %.1f / %.1f  (LP pivots: %d)\n\n",
+		r.Welfare, r.Served(), g.TotalDemand(), r.Iterations)
+
+	fmt.Println("nodal prices (λ):")
+	ids := make([]string, 0, len(r.Price))
+	for id := range r.Price {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("  %-20s %8.2f\n", id, r.Price[id])
+	}
+
+	fmt.Println("\nnonzero flows:")
+	eids := g.AssetIDs()
+	for _, id := range eids {
+		if f := r.Flow[id]; f > 1e-9 {
+			e := g.Edge(id)
+			rent := r.CapacityRent[id]
+			mark := ""
+			if rent > 1e-9 {
+				mark = fmt.Sprintf("   (congested, rent %.2f)", rent)
+			}
+			fmt.Printf("  %-18s %8.1f / %-8.1f%s\n", id, f, e.Capacity, mark)
+		}
+	}
+
+	if *nActors > 0 {
+		o := actors.RandomOwnership(g, *nActors, rng.New(*seed))
+		p, err := actors.LMPDivision{}.Divide(g, r, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nper-actor profits (%d actors, seed %d):\n", *nActors, *seed)
+		as := p
+		names := make([]string, 0, len(as))
+		for a := range as {
+			names = append(names, a)
+		}
+		sort.Strings(names)
+		for _, a := range names {
+			fmt.Printf("  %-8s %12.2f  (%d assets)\n", a, as[a], len(o.Assets(a)))
+		}
+		fmt.Printf("  %-8s %12.2f  (= welfare)\n", "total", p.Total())
+	}
+}

@@ -1,0 +1,61 @@
+// Command cpsgen emits the six-state western-US interconnected gas-electric
+// model (the paper's Figure 1 system) as JSON, for inspection or as input
+// to the other tools.
+//
+// Usage:
+//
+//	cpsgen [-stress] [-o model.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cpsguard/internal/graph"
+	"cpsguard/internal/gridgen"
+	"cpsguard/internal/westgrid"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpsgen: ")
+	stress := flag.Bool("stress", false, "apply the paper's stress adjustments (capacity −25%, demand +65%)")
+	dot := flag.Bool("dot", false, "emit Graphviz dot instead of JSON (render of the paper's Figure 1)")
+	regions := flag.Int("regions", 0, "generate a synthetic system with this many regions instead of the six-state model")
+	seed := flag.Uint64("seed", 1, "generator seed (with -regions)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var g *graph.Graph
+	if *regions > 0 {
+		var err error
+		g, err = gridgen.Build(gridgen.Config{Regions: *regions, Seed: *seed, Stress: *stress})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		g = westgrid.Build(westgrid.Options{Stress: *stress})
+	}
+	var data []byte
+	if *dot {
+		data = []byte(g.DOT())
+	} else {
+		var err error
+		data, err = json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %s\n", *out, g)
+}

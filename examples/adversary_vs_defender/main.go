@@ -1,0 +1,57 @@
+// adversary_vs_defender: play full game rounds at increasing knowledge
+// noise and watch both sides degrade — the dynamics behind the paper's
+// Figures 3–5, including the deception-defense insight of Figure 4 (a noisy
+// adversary stays confident while her realized profit collapses).
+//
+// Run with:
+//
+//	go run ./examples/adversary_vs_defender
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cpsguard"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g := cpsguard.Westgrid(cpsguard.WestgridOptions{Stress: true})
+	scn := cpsguard.NewScenario(g, 6, 7)
+
+	fmt.Println("six actors on the stressed western interconnect (mean of 12 rounds)")
+	fmt.Printf("%-8s %14s %14s %14s %14s\n",
+		"sigma", "anticipated", "realized", "vs defense", "effectiveness")
+
+	const rounds = 12
+	for _, sigma := range []float64{0, 0.2, 0.5, 1.0} {
+		var ant, und, def, eff float64
+		for i := 0; i < rounds; i++ {
+			res, err := cpsguard.PlayRound(scn, cpsguard.GameConfig{
+				AttackBudget:          3,
+				AttackerSigma:         sigma,
+				DefenderSigma:         sigma,
+				SpeculatedSigma:       sigma,
+				DefenseBudgetPerActor: 2,
+				Collaborative:         true,
+				PaSamples:             12,
+				NoiseMode:             cpsguard.MatrixNoise,
+				Seed:                  uint64(100 + i),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ant += res.Anticipated / rounds
+			und += res.RealizedUndefended / rounds
+			def += res.RealizedDefended / rounds
+			eff += res.Effectiveness / rounds
+		}
+		fmt.Printf("%-8.2f %14.0f %14.0f %14.0f %14.0f\n", sigma, ant, und, def, eff)
+	}
+
+	fmt.Println("\nreading: anticipated stays high as σ grows (the adversary can't")
+	fmt.Println("tell her model degraded) while realized profit falls — the paper's")
+	fmt.Println("argument that deception is a viable defense (Fig. 4).")
+}

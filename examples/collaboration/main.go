@@ -1,0 +1,75 @@
+// collaboration: demonstrate cost-shared defense (Section II-F3) on the
+// exact scenario the paper motivates — a cheap shared supplier whose outage
+// hurts every buyer, but whose owner has no incentive to defend it alone.
+//
+// Run with:
+//
+//	go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cpsguard"
+	"cpsguard/internal/defense"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One cheap source serves two retail actors; a pricey backup exists.
+	// Attacking the cheap source raises costs for both buyers.
+	g := cpsguard.NewGraph("shared-supplier")
+	g.MustAddVertex(cpsguard.Vertex{ID: "cheap", Supply: 100, SupplyCost: 5})
+	g.MustAddVertex(cpsguard.Vertex{ID: "backup", Supply: 100, SupplyCost: 60})
+	g.MustAddVertex(cpsguard.Vertex{ID: "hub"})
+	g.MustAddVertex(cpsguard.Vertex{ID: "cityA", Demand: 40, Price: 100})
+	g.MustAddVertex(cpsguard.Vertex{ID: "cityB", Demand: 40, Price: 100})
+	g.MustAddEdge(cpsguard.Edge{ID: "supply", From: "cheap", To: "hub", Capacity: 90, Cost: 1})
+	g.MustAddEdge(cpsguard.Edge{ID: "bsupply", From: "backup", To: "hub", Capacity: 90, Cost: 1})
+	g.MustAddEdge(cpsguard.Edge{ID: "retailA", From: "hub", To: "cityA", Capacity: 50, Cost: 1})
+	g.MustAddEdge(cpsguard.Edge{ID: "retailB", From: "hub", To: "cityB", Capacity: 50, Cost: 1})
+
+	own := cpsguard.Ownership{
+		"supply": "S", "bsupply": "S", "retailA": "A", "retailB": "B",
+	}
+	an := &cpsguard.ImpactAnalysis{Graph: g, Ownership: own}
+	m, err := an.ComputeMatrix(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("impact of attacking the cheap supply line:")
+	for _, a := range m.Actors {
+		fmt.Printf("  %-8s %+10.0f\n", a, m.Get(a, "supply"))
+	}
+
+	pa := map[string]float64{"supply": 1} // defenders expect this attack
+	costs := defense.UniformCosts([]string{"supply"}, 2500)
+
+	// Independent: only the owner S may defend, and S gains from the
+	// outage (its backup plant wins the market) — nobody defends.
+	invs, err := defense.PlanAllIndependent(m, own, pa, costs, 2500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nindependent defense: %d assets protected\n", len(defense.Union(invs)))
+
+	// Collaborative: buyers A and B pool shares proportional to their
+	// losses (Eq. 15) and defend the supplier they do not own.
+	cinv, err := defense.PlanCollaborative(defense.CollaborativeConfig{
+		Matrix: m, Ownership: own,
+		AttackProb: defense.SharedAttackProb(m, pa),
+		Costs:      costs,
+		Budget:     map[string]float64{"A": 2000, "B": 2000, "S": 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collaborative defense: %d assets protected\n", len(cinv.Defended))
+	for a, shares := range cinv.Share {
+		for t, s := range shares {
+			fmt.Printf("  %s pays %.0f toward defending %s\n", a, s, t)
+		}
+	}
+}

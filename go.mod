@@ -1,0 +1,3 @@
+module cpsguard
+
+go 1.22

@@ -1,0 +1,382 @@
+// Package adversary implements the strategic adversary (SA) of Section
+// II-E: a profit-seeking attacker who selects a budget-limited set of
+// targets T and a set of actors A whose profit changes she captures
+// (via stock or futures positions), maximizing
+//
+//	max_{T,A}  Σ_{t∈T} −Catk(t)  +  Σ_{j∈A} Σ_{t∈T} IM[j,t]·Ps(t)
+//	s.t.       Σ_{t∈T} Catk(t) ≤ MA,  T(i),A(j) ∈ {0,1}
+//
+// (the paper's Eq. 8–11). For any fixed T the optimal A is closed-form —
+// include actor j iff its captured sum is positive — so target selection
+// reduces to a set search, which Plan solves exactly by depth-first branch
+// and bound with a subadditive upper bound, falling back to the greedy
+// incumbent if the node budget is exhausted. PlanGreedy exposes the greedy
+// heuristic directly, and PlanMILP solves the textbook linearization on the
+// generic MILP engine as a correctness oracle.
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cpsguard/internal/impact"
+	"cpsguard/internal/lp"
+	"cpsguard/internal/milp"
+)
+
+// Target describes one attackable asset from the SA's point of view.
+type Target struct {
+	ID string
+	// Cost is Catk(t), the expense of mounting the attack.
+	Cost float64
+	// SuccessProb is Ps(t) ∈ [0,1], the probability the attack succeeds
+	// given it is attempted.
+	SuccessProb float64
+}
+
+// UniformTargets builds a Target list with identical cost and success
+// probability for every ID — the configuration used throughout the paper's
+// experiments ("the costs are uniform across targets", Section III-C).
+func UniformTargets(ids []string, cost, successProb float64) []Target {
+	out := make([]Target, len(ids))
+	for i, id := range ids {
+		out[i] = Target{ID: id, Cost: cost, SuccessProb: successProb}
+	}
+	return out
+}
+
+// Config states one SA instance.
+type Config struct {
+	// Matrix is the SA's (possibly noise-perturbed) impact matrix.
+	Matrix *impact.Matrix
+	// Targets lists attack costs/success probabilities. Targets absent
+	// from the matrix contribute no profit but still cost money; targets
+	// absent from this list are not attackable.
+	Targets []Target
+	// Budget is MA, the maximum total attack expenditure.
+	Budget float64
+	// MaxNodes caps the exact search (default 2_000_000 nodes); on
+	// exhaustion the best incumbent found so far (at least as good as
+	// greedy) is returned with Proven=false.
+	MaxNodes int
+}
+
+// Plan is a chosen attack.
+type Plan struct {
+	// Targets is the sorted set T of attacked asset IDs.
+	Targets []string
+	// Actors is the sorted set A of actors whose profit the SA captures.
+	Actors []string
+	// Anticipated is the SA's expected return under her own model
+	// (Eq. 8's objective value).
+	Anticipated float64
+	// Proven reports whether the exact search completed.
+	Proven bool
+	// Nodes counts search nodes explored.
+	Nodes int
+}
+
+// ErrNoTargets is returned when the configuration lists no targets.
+var ErrNoTargets = errors.New("adversary: no targets configured")
+
+// instance is the preprocessed search state.
+type instance struct {
+	ids    []string
+	cost   []float64
+	ps     []float64
+	actors []string
+	// im[j][i] = IM[actor j][target i] · Ps(i)
+	im [][]float64
+	// opt[i] = Σ_j max(0, im[j][i]) − cost[i], the subadditive
+	// optimistic net value of target i.
+	opt    []float64
+	budget float64
+}
+
+func newInstance(cfg Config) (*instance, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, ErrNoTargets
+	}
+	if cfg.Matrix == nil {
+		return nil, errors.New("adversary: nil impact matrix")
+	}
+	in := &instance{budget: cfg.Budget, actors: cfg.Matrix.Actors}
+	for _, t := range cfg.Targets {
+		if t.Cost < 0 || t.SuccessProb < 0 || t.SuccessProb > 1 ||
+			math.IsNaN(t.Cost) || math.IsNaN(t.SuccessProb) {
+			return nil, fmt.Errorf("adversary: bad target %+v", t)
+		}
+		in.ids = append(in.ids, t.ID)
+		in.cost = append(in.cost, t.Cost)
+		in.ps = append(in.ps, t.SuccessProb)
+	}
+	in.im = make([][]float64, len(in.actors))
+	for j, a := range in.actors {
+		row := make([]float64, len(in.ids))
+		for i, id := range in.ids {
+			row[i] = cfg.Matrix.Get(a, id) * in.ps[i]
+		}
+		in.im[j] = row
+	}
+	in.opt = make([]float64, len(in.ids))
+	for i := range in.ids {
+		v := -in.cost[i]
+		for j := range in.actors {
+			if x := in.im[j][i]; x > 0 {
+				v += x
+			}
+		}
+		in.opt[i] = v
+	}
+	return in, nil
+}
+
+// value computes the exact objective of a target set (indices) with the
+// closed-form optimal actor choice, returning the value and chosen actors.
+func (in *instance) value(set []int) (float64, []int) {
+	obj := 0.0
+	for _, i := range set {
+		obj -= in.cost[i]
+	}
+	var actorIdx []int
+	for j := range in.actors {
+		sum := 0.0
+		for _, i := range set {
+			sum += in.im[j][i]
+		}
+		if sum > 0 {
+			obj += sum
+			actorIdx = append(actorIdx, j)
+		}
+	}
+	return obj, actorIdx
+}
+
+func (in *instance) plan(set []int, nodes int, proven bool) *Plan {
+	val, actorIdx := in.value(set)
+	p := &Plan{Anticipated: val, Proven: proven, Nodes: nodes}
+	for _, i := range set {
+		p.Targets = append(p.Targets, in.ids[i])
+	}
+	for _, j := range actorIdx {
+		p.Actors = append(p.Actors, in.actors[j])
+	}
+	sort.Strings(p.Targets)
+	sort.Strings(p.Actors)
+	return p
+}
+
+// Solve finds the optimal attack by branch and bound. The empty attack
+// (value 0) is always feasible, so Anticipated ≥ 0.
+func Solve(cfg Config) (*Plan, error) {
+	in, err := newInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxNodes := cfg.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 2_000_000
+	}
+
+	// Order targets by optimistic value, best first: improves both the
+	// greedy incumbent and pruning.
+	order := make([]int, len(in.ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return in.opt[order[a]] > in.opt[order[b]] })
+
+	// Greedy incumbent.
+	greedySet := in.greedy(order)
+	bestVal, _ := in.value(greedySet)
+	bestSet := append([]int(nil), greedySet...)
+	if bestVal < 0 {
+		bestVal, bestSet = 0, nil
+	}
+
+	// Suffix sums of positive optimistic values for bounding: ubTail[k]
+	// bounds the value addable by targets order[k:] ignoring budget.
+	ubTail := make([]float64, len(order)+1)
+	for k := len(order) - 1; k >= 0; k-- {
+		v := in.opt[order[k]]
+		if v < 0 {
+			v = 0
+		}
+		ubTail[k] = ubTail[k+1] + v
+	}
+
+	nodes := 0
+	exhausted := false
+	var cur []int
+	var dfs func(k int, spent float64, curOpt float64)
+	dfs = func(k int, spent float64, curOpt float64) {
+		if exhausted {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			exhausted = true
+			return
+		}
+		// Evaluate the current set exactly; it is always feasible.
+		if val, _ := in.value(cur); val > bestVal+1e-12 {
+			bestVal = val
+			bestSet = append(bestSet[:0], cur...)
+		}
+		if k >= len(order) {
+			return
+		}
+		// Bound: optimistic value of chosen ∪ best possible tail.
+		if curOpt+ubTail[k] <= bestVal+1e-12 {
+			return
+		}
+		i := order[k]
+		// Branch 1: include target i (if affordable).
+		if spent+in.cost[i] <= in.budget+1e-12 {
+			cur = append(cur, i)
+			dfs(k+1, spent+in.cost[i], curOpt+math.Max(in.opt[i], 0)+math.Min(in.opt[i], 0))
+			cur = cur[:len(cur)-1]
+		}
+		// Branch 2: exclude target i.
+		dfs(k+1, spent, curOpt)
+	}
+	dfs(0, 0, 0)
+
+	return in.plan(bestSet, nodes, !exhausted), nil
+}
+
+// greedy grows the target set by best exact marginal value.
+func (in *instance) greedy(order []int) []int {
+	var set []int
+	spent := 0.0
+	curVal := 0.0
+	used := make([]bool, len(in.ids))
+	for {
+		bestGain := 1e-12
+		bestIdx := -1
+		for _, i := range order {
+			if used[i] || spent+in.cost[i] > in.budget+1e-12 {
+				continue
+			}
+			v, _ := in.value(append(set, i))
+			if g := v - curVal; g > bestGain {
+				bestGain = g
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			return set
+		}
+		set = append(set, bestIdx)
+		used[bestIdx] = true
+		spent += in.cost[bestIdx]
+		curVal += bestGain
+	}
+}
+
+// SolveGreedy returns the greedy heuristic's plan (used in ablations).
+func SolveGreedy(cfg Config) (*Plan, error) {
+	in, err := newInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(in.ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return in.opt[order[a]] > in.opt[order[b]] })
+	set := in.greedy(order)
+	return in.plan(set, len(set), false), nil
+}
+
+// SolveMILP solves the standard linearization (y_{ij} = T_i·A_j with
+// y ≥ T_i + A_j − 1, y ≤ T_i, y ≤ A_j) on the generic MILP engine. It is
+// exponentially slower than Solve and exists as a cross-check oracle for
+// tests and for users who add bespoke side constraints.
+func SolveMILP(cfg Config) (*Plan, error) {
+	in, err := newInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nT, nA := len(in.ids), len(in.actors)
+	p := lp.NewProblem()
+	tVar := make([]int, nT)
+	aVar := make([]int, nA)
+	for i := range tVar {
+		tVar[i] = p.AddVariable("T", in.cost[i], 1) // minimize: +cost when attacked
+	}
+	for j := range aVar {
+		aVar[j] = p.AddVariable("A", 0, 1)
+	}
+	binary := append(append([]int(nil), tVar...), aVar...)
+	for i := 0; i < nT; i++ {
+		for j := 0; j < nA; j++ {
+			w := in.im[j][i]
+			if w == 0 {
+				continue
+			}
+			y := p.AddVariable("y", -w, 1)
+			// y ≤ T_i, y ≤ A_j, y ≥ T_i + A_j − 1. For positive w the
+			// objective (−w·y, minimized) pushes y up, so the ≤ rows
+			// bind; for negative w it pushes y down, so the ≥ row
+			// binds. All three keep y = T·A at binary points.
+			p.AddConstraint(lp.Constraint{Coefs: []lp.Coef{{Var: y, Value: 1}, {Var: tVar[i], Value: -1}}, Sense: lp.LE, RHS: 0})
+			p.AddConstraint(lp.Constraint{Coefs: []lp.Coef{{Var: y, Value: 1}, {Var: aVar[j], Value: -1}}, Sense: lp.LE, RHS: 0})
+			p.AddConstraint(lp.Constraint{Coefs: []lp.Coef{{Var: y, Value: 1}, {Var: tVar[i], Value: -1}, {Var: aVar[j], Value: -1}}, Sense: lp.GE, RHS: -1})
+		}
+	}
+	budgetCoefs := make([]lp.Coef, nT)
+	for i := range tVar {
+		budgetCoefs[i] = lp.Coef{Var: tVar[i], Value: in.cost[i]}
+	}
+	p.AddConstraint(lp.Constraint{Coefs: budgetCoefs, Sense: lp.LE, RHS: in.budget})
+
+	sol, err := milp.Solve(milp.Problem{LP: p, Binary: binary}, milp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("adversary: MILP status %v", sol.Status)
+	}
+	var set []int
+	for i, v := range tVar {
+		if sol.X[v] > 0.5 {
+			set = append(set, i)
+		}
+	}
+	return in.plan(set, sol.Nodes, sol.Proven), nil
+}
+
+// EvaluateOptions controls realized-profit evaluation.
+type EvaluateOptions struct {
+	// Defended marks assets whose attacks fail (the defender's
+	// investment nullifies the perturbation); the SA still pays Catk.
+	Defended map[string]bool
+}
+
+// Evaluate computes the profit a plan actually realizes against the ground
+// truth impact matrix: the SA keeps her chosen positions (Actors) and target
+// expenditures, but the impacts come from truth rather than from her model
+// (Section III-C: "the actual impact comes from what the ground truth model
+// experiences"). Defended targets contribute cost but no impact.
+func Evaluate(p *Plan, truth *impact.Matrix, targets []Target, opts EvaluateOptions) float64 {
+	cost := map[string]float64{}
+	ps := map[string]float64{}
+	for _, t := range targets {
+		cost[t.ID] = t.Cost
+		ps[t.ID] = t.SuccessProb
+	}
+	total := 0.0
+	for _, t := range p.Targets {
+		total -= cost[t]
+		if opts.Defended[t] {
+			continue
+		}
+		for _, a := range p.Actors {
+			total += truth.Get(a, t) * ps[t]
+		}
+	}
+	return total
+}

@@ -1,0 +1,193 @@
+// Divide-and-conquer target selection (Section II-E4).
+//
+// The paper notes the SA model "can become computationally difficult to
+// solve as the system grows in both the number of actors and targets" and
+// that "this problem can be alleviated to some extent by partitioning the
+// system and actors into a divide-and-conquer algorithm." SolvePartitioned
+// implements that idea: the target set is split into caller-chosen groups
+// (e.g. per state, per subsystem), each group's profit-vs-budget curve is
+// solved exactly in isolation, and a final dynamic program allocates the
+// global budget across groups.
+//
+// The decomposition is exact when groups do not share profitable actors;
+// otherwise it is a documented approximation (an actor profiting from two
+// groups is counted per group when curves are built), which is the price of
+// the paper's "alleviated to some extent". The merged plan's Anticipated
+// value is always re-evaluated exactly on the full instance, so the
+// returned number is never optimistic.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PartitionOptions tunes SolvePartitioned.
+type PartitionOptions struct {
+	// BudgetStep is the budget granularity of the per-group curves
+	// (default: the smallest positive target cost, or 1 when all
+	// targets are free).
+	BudgetStep float64
+	// MaxNodesPerGroup caps each group's exact search (default 200_000).
+	MaxNodesPerGroup int
+}
+
+// SolvePartitioned solves the SA problem by exact per-group curves plus a
+// budget-allocation DP. groups must partition (a subset of) the configured
+// target IDs; targets not covered by any group are ignored.
+func SolvePartitioned(cfg Config, groups [][]string, opts PartitionOptions) (*Plan, error) {
+	in, err := newInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("adversary: no partition groups")
+	}
+	byID := map[string]Target{}
+	for _, t := range cfg.Targets {
+		byID[t.ID] = t
+	}
+
+	step := opts.BudgetStep
+	if step <= 0 {
+		step = math.Inf(1)
+		for _, t := range cfg.Targets {
+			if t.Cost > 0 && t.Cost < step {
+				step = t.Cost
+			}
+		}
+		if math.IsInf(step, 1) {
+			step = 1
+		}
+	}
+	levels := int(cfg.Budget/step) + 1
+	if levels < 1 {
+		levels = 1
+	}
+	maxNodes := opts.MaxNodesPerGroup
+	if maxNodes <= 0 {
+		maxNodes = 200_000
+	}
+
+	// Per-group profit curves: curve[g][k] = best value with budget k·step,
+	// sets[g][k] = the achieving target set.
+	curves := make([][]float64, len(groups))
+	sets := make([][][]string, len(groups))
+	for gi, group := range groups {
+		var targets []Target
+		for _, id := range group {
+			if t, ok := byID[id]; ok {
+				targets = append(targets, t)
+			}
+		}
+		curves[gi] = make([]float64, levels)
+		sets[gi] = make([][]string, levels)
+		if len(targets) == 0 {
+			continue
+		}
+		for k := 0; k < levels; k++ {
+			sub := Config{
+				Matrix:   cfg.Matrix,
+				Targets:  targets,
+				Budget:   float64(k) * step,
+				MaxNodes: maxNodes,
+			}
+			plan, err := Solve(sub)
+			if err != nil {
+				return nil, fmt.Errorf("adversary: group %d level %d: %w", gi, k, err)
+			}
+			curves[gi][k] = plan.Anticipated
+			sets[gi][k] = plan.Targets
+		}
+	}
+
+	// DP over groups: best[k] = max value using budget k·step across the
+	// first g groups; choice tracking for reconstruction.
+	best := make([]float64, levels)
+	choice := make([][]int, len(groups))
+	for gi := range groups {
+		choice[gi] = make([]int, levels)
+		next := make([]float64, levels)
+		for k := 0; k < levels; k++ {
+			next[k] = math.Inf(-1)
+			for alloc := 0; alloc <= k; alloc++ {
+				v := best[k-alloc] + curves[gi][alloc]
+				if v > next[k] {
+					next[k] = v
+					choice[gi][k] = alloc
+				}
+			}
+		}
+		best = next
+	}
+
+	// Reconstruct the merged target set from the top budget level.
+	k := levels - 1
+	merged := map[string]bool{}
+	for gi := len(groups) - 1; gi >= 0; gi-- {
+		alloc := choice[gi][k]
+		for _, id := range sets[gi][alloc] {
+			merged[id] = true
+		}
+		k -= alloc
+	}
+	var set []int
+	for i, id := range in.ids {
+		if merged[id] {
+			set = append(set, i)
+		}
+	}
+	sort.Ints(set)
+	// Re-evaluate exactly on the full instance (never optimistic).
+	return in.plan(set, levels*len(groups), false), nil
+}
+
+// PartitionByPrefix groups target IDs by the prefix before the first
+// occurrence of sep's last ':'-delimited component — concretely, for
+// westgrid-style IDs like "tx:WA-OR" and "gen:CA:solar" it groups by the
+// leading kind token, and GroupBySuffixState groups by state. Provided as
+// convenient default partitioners.
+func PartitionByPrefix(ids []string) [][]string {
+	buckets := map[string][]string{}
+	var keys []string
+	for _, id := range ids {
+		key := id
+		for i := 0; i < len(id); i++ {
+			if id[i] == ':' {
+				key = id[:i]
+				break
+			}
+		}
+		if _, ok := buckets[key]; !ok {
+			keys = append(keys, key)
+		}
+		buckets[key] = append(buckets[key], id)
+	}
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, buckets[k])
+	}
+	return out
+}
+
+// PartitionChunks splits ids into contiguous chunks of at most size
+// elements (a topology-agnostic fallback partitioner).
+func PartitionChunks(ids []string, size int) [][]string {
+	if size <= 0 {
+		size = 1
+	}
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	var out [][]string
+	for len(sorted) > 0 {
+		n := size
+		if n > len(sorted) {
+			n = len(sorted)
+		}
+		out = append(out, sorted[:n])
+		sorted = sorted[n:]
+	}
+	return out
+}

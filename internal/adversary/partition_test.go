@@ -1,0 +1,143 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"cpsguard/internal/rng"
+)
+
+func TestPartitionedNeverBeatsExact(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rs := rng.Derive(61, uint64(trial))
+		im := map[string]map[string]float64{}
+		var tids []string
+		nT := 6 + rs.Intn(6)
+		for i := 0; i < nT; i++ {
+			tids = append(tids, "t"+string(rune('a'+i)))
+		}
+		for j := 0; j < 4; j++ {
+			row := map[string]float64{}
+			for _, tid := range tids {
+				row[tid] = (rs.Float64() - 0.5) * 20
+			}
+			im["A"+string(rune('0'+j))] = row
+		}
+		m := matrixOf(im)
+		cfg := Config{Matrix: m, Targets: UniformTargets(m.Targets, 1, 1), Budget: 3}
+		exact, err := Solve(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := SolvePartitioned(cfg, PartitionChunks(m.Targets, 3), PartitionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.Anticipated > exact.Anticipated+1e-9 {
+			t.Fatalf("trial %d: partitioned %v beat exact %v", trial,
+				part.Anticipated, exact.Anticipated)
+		}
+		// Budget respected.
+		if len(part.Targets) > 3 {
+			t.Fatalf("trial %d: partitioned overspent: %v", trial, part.Targets)
+		}
+	}
+}
+
+func TestPartitionedExactOnIndependentGroups(t *testing.T) {
+	// Two groups with disjoint actors: decomposition is lossless.
+	m := matrixOf(map[string]map[string]float64{
+		"A": {"g1a": 10, "g1b": 4, "g2a": 0, "g2b": 0},
+		"B": {"g1a": 0, "g1b": 0, "g2a": 8, "g2b": 6},
+	})
+	cfg := Config{Matrix: m, Targets: UniformTargets(m.Targets, 1, 1), Budget: 3}
+	exact, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := SolvePartitioned(cfg,
+		[][]string{{"g1a", "g1b"}, {"g2a", "g2b"}}, PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(part.Anticipated, exact.Anticipated, 1e-9) {
+		t.Fatalf("independent groups should be lossless: %v vs %v",
+			part.Anticipated, exact.Anticipated)
+	}
+}
+
+func TestPartitionedBudgetAllocation(t *testing.T) {
+	// Group 1 holds the two best targets; the DP must allocate both
+	// budget units there rather than one per group.
+	m := matrixOf(map[string]map[string]float64{
+		"A": {"big1": 10, "big2": 9, "small": 1},
+	})
+	cfg := Config{Matrix: m, Targets: UniformTargets(m.Targets, 1, 1), Budget: 2}
+	part, err := SolvePartitioned(cfg,
+		[][]string{{"big1", "big2"}, {"small"}}, PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(part.Anticipated, 17, 1e-9) { // 10+9 − 2
+		t.Fatalf("anticipated = %v (targets %v), want 17", part.Anticipated, part.Targets)
+	}
+}
+
+func TestPartitionedValidation(t *testing.T) {
+	m := simpleMatrix()
+	cfg := Config{Matrix: m, Targets: UniformTargets(m.Targets, 1, 1), Budget: 2}
+	if _, err := SolvePartitioned(cfg, nil, PartitionOptions{}); err == nil {
+		t.Fatal("empty partition accepted")
+	}
+	// Unknown IDs in groups are ignored, not fatal.
+	p, err := SolvePartitioned(cfg, [][]string{{"t1", "zzz"}}, PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Anticipated < 0 {
+		t.Fatalf("anticipated = %v", p.Anticipated)
+	}
+}
+
+func TestPartitionByPrefix(t *testing.T) {
+	ids := []string{"tx:WA-OR", "tx:OR-CA", "gen:CA:solar", "pipe:WA-OR"}
+	groups := PartitionByPrefix(ids)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	// Sorted by key: gen, pipe, tx.
+	if groups[0][0] != "gen:CA:solar" || len(groups[2]) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	// IDs without a separator form their own key.
+	g2 := PartitionByPrefix([]string{"plain"})
+	if len(g2) != 1 || g2[0][0] != "plain" {
+		t.Fatalf("plain grouping = %v", g2)
+	}
+}
+
+func TestPartitionChunks(t *testing.T) {
+	ids := []string{"d", "a", "c", "b", "e"}
+	chunks := PartitionChunks(ids, 2)
+	if len(chunks) != 3 || chunks[0][0] != "a" || len(chunks[2]) != 1 {
+		t.Fatalf("chunks = %v", chunks)
+	}
+	if got := PartitionChunks(ids, 0); len(got) != 5 {
+		t.Fatalf("size 0 should clamp to 1: %v", got)
+	}
+}
+
+func TestPartitionedBudgetStepFree(t *testing.T) {
+	// All-free targets: step defaults to 1, one level, empty-or-all plans
+	// must still be well-formed.
+	m := simpleMatrix()
+	cfg := Config{Matrix: m, Targets: UniformTargets(m.Targets, 0, 1), Budget: 0}
+	p, err := SolvePartitioned(cfg, [][]string{m.Targets}, PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := Solve(cfg)
+	if math.Abs(p.Anticipated-exact.Anticipated) > 1e-9 {
+		t.Fatalf("free-target partition %v ≠ exact %v", p.Anticipated, exact.Anticipated)
+	}
+}

@@ -1,0 +1,131 @@
+// Package baseline implements the purely topological defense strategies
+// the paper's related work contrasts with (Section IV-B, citing Wang et
+// al.'s electrical-betweenness ranking [32] and Hines et al.'s critique
+// [33]): rank assets by a graph-structural criticality metric and defend
+// the top of the ranking, ignoring market economics entirely.
+//
+// These baselines exist to quantify the paper's thesis — that physical-flow
+// *economics*, not topology, determine which assets matter to a
+// profit-seeking adversary. The ablation benchmark and the comparison
+// experiment (experiments.BaselineComparison) measure how much attack
+// damage each strategy actually averts on the ground-truth model.
+package baseline
+
+import (
+	"sort"
+
+	"cpsguard/internal/graph"
+)
+
+// EdgeBetweenness computes directed edge betweenness centrality with
+// Brandes' algorithm over unweighted shortest paths between all vertex
+// pairs. Scores are raw path counts (not normalized); only relative order
+// matters for ranking.
+func EdgeBetweenness(g *graph.Graph) map[string]float64 {
+	n := len(g.Vertices)
+	idx := make(map[string]int, n)
+	for i, v := range g.Vertices {
+		idx[v.ID] = i
+	}
+	// adjacency with edge indices
+	type arc struct{ to, edge int }
+	adj := make([][]arc, n)
+	for ei, e := range g.Edges {
+		u, v := idx[e.From], idx[e.To]
+		adj[u] = append(adj[u], arc{v, ei})
+	}
+
+	score := make([]float64, len(g.Edges))
+	// Brandes, per source.
+	for s := 0; s < n; s++ {
+		// BFS.
+		dist := make([]int, n)
+		sigma := make([]float64, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		order := []int{s}
+		preds := make([][]arc, n) // predecessor arcs into each vertex
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range adj[u] {
+				if dist[a.to] < 0 {
+					dist[a.to] = dist[u] + 1
+					queue = append(queue, a.to)
+					order = append(order, a.to)
+				}
+				if dist[a.to] == dist[u]+1 {
+					sigma[a.to] += sigma[u]
+					preds[a.to] = append(preds[a.to], arc{u, a.edge})
+				}
+			}
+		}
+		// Accumulation in reverse BFS order.
+		delta := make([]float64, n)
+		for i := len(order) - 1; i > 0; i-- {
+			w := order[i]
+			for _, p := range preds[w] {
+				c := sigma[p.to] / sigma[w] * (1 + delta[w])
+				score[p.edge] += c
+				delta[p.to] += c
+			}
+		}
+	}
+
+	out := make(map[string]float64, len(g.Edges))
+	for ei, e := range g.Edges {
+		out[e.ID] = score[ei]
+	}
+	return out
+}
+
+// CapacityWeightedBetweenness scales each edge's betweenness by its
+// capacity — a crude stand-in for the "electrical betweenness" of [32]
+// that accounts for how much energy an asset can actually carry.
+func CapacityWeightedBetweenness(g *graph.Graph) map[string]float64 {
+	b := EdgeBetweenness(g)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		b[e.ID] *= e.Capacity
+	}
+	return b
+}
+
+// Ranking is a defense-priority order over assets.
+type Ranking []string
+
+// Rank orders asset IDs by descending score, breaking ties by ID for
+// determinism.
+func Rank(scores map[string]float64) Ranking {
+	ids := make([]string, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		sa, sb := scores[ids[a]], scores[ids[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// Defend greedily protects assets in ranking order while the budget lasts,
+// given per-asset defense costs. Assets missing from costs are skipped.
+func (r Ranking) Defend(costs map[string]float64, budget float64) map[string]bool {
+	defended := map[string]bool{}
+	for _, id := range r {
+		cd, ok := costs[id]
+		if !ok || cd > budget {
+			continue
+		}
+		defended[id] = true
+		budget -= cd
+	}
+	return defended
+}

@@ -1,0 +1,45 @@
+// Package cli holds the small shared plumbing of the cmd/ tools: model
+// loading (built-in westgrid or a JSON file) and noise-mode parsing.
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cpsguard/internal/core"
+	"cpsguard/internal/graph"
+	"cpsguard/internal/westgrid"
+)
+
+// LoadModel returns the model at path, or the built-in westgrid (stressed
+// per the flag) when path is empty. The model is validated.
+func LoadModel(path string, stress bool) (*graph.Graph, error) {
+	if path == "" {
+		return westgrid.Build(westgrid.Options{Stress: stress}), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g graph.Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// ParseNoiseMode maps the -mode flag value to a core.NoiseMode.
+func ParseNoiseMode(s string) (core.NoiseMode, error) {
+	switch s {
+	case "graph", "":
+		return core.GraphNoise, nil
+	case "matrix":
+		return core.MatrixNoise, nil
+	default:
+		return 0, fmt.Errorf("unknown noise mode %q (want graph or matrix)", s)
+	}
+}

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cpsguard/internal/core"
+)
+
+func TestLoadModelBuiltin(t *testing.T) {
+	g, err := LoadModel("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) < 80 {
+		t.Fatalf("builtin model too small: %d edges", len(g.Edges))
+	}
+	unstressed, err := LoadModel("", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unstressed.TotalDemand() >= g.TotalDemand() {
+		t.Fatal("stress flag ignored")
+	}
+}
+
+func TestLoadModelFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	content := `{
+		"name": "file-model",
+		"vertices": [
+			{"id": "s", "supply": 10, "supply_cost": 1},
+			{"id": "d", "demand": 5, "price": 9}
+		],
+		"edges": [
+			{"id": "e", "from": "s", "to": "d", "capacity": 8}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadModel(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "file-model" || len(g.Edges) != 1 {
+		t.Fatalf("loaded wrong model: %s", g)
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel("/nonexistent/file.json", false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := LoadModel(bad, false); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	os.WriteFile(invalid, []byte(`{"vertices":[{"id":"a"}],"edges":[{"id":"e","from":"a","to":"zzz","capacity":1}]}`), 0o644)
+	if _, err := LoadModel(invalid, false); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}
+
+func TestParseNoiseMode(t *testing.T) {
+	if m, err := ParseNoiseMode("graph"); err != nil || m != core.GraphNoise {
+		t.Fatalf("graph: %v %v", m, err)
+	}
+	if m, err := ParseNoiseMode(""); err != nil || m != core.GraphNoise {
+		t.Fatalf("default: %v %v", m, err)
+	}
+	if m, err := ParseNoiseMode("matrix"); err != nil || m != core.MatrixNoise {
+		t.Fatalf("matrix: %v %v", m, err)
+	}
+	if _, err := ParseNoiseMode("bogus"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}

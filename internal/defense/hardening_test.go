@@ -1,0 +1,161 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"cpsguard/internal/adversary"
+)
+
+func hardeningFixture() (HardeningConfig, []adversary.Target) {
+	m := matrixOf(map[string]map[string]float64{
+		"A": {"big": -100, "small": -10, "gain": +5},
+	})
+	targets := adversary.UniformTargets(m.Targets, 1, 1)
+	cfg := HardeningConfig{
+		Matrix:     m,
+		Targets:    targets,
+		AttackProb: map[string]float64{"big": 0.5, "small": 0.5, "gain": 0.5},
+		Budget:     4,
+		DecayScale: 1,
+	}
+	return cfg, targets
+}
+
+func TestPlanHardeningPrioritizesBigLosses(t *testing.T) {
+	cfg, _ := hardeningFixture()
+	h, err := PlanHardening(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Invest["big"] <= h.Invest["small"] {
+		t.Fatalf("big loss should attract more hardening: %v", h.Invest)
+	}
+	if h.Invest["gain"] != 0 {
+		t.Fatalf("gain-producing target hardened: %v", h.Invest)
+	}
+	// Budget respected (within one step).
+	spent := 0.0
+	for _, x := range h.Invest {
+		spent += x
+	}
+	if spent > cfg.Budget+1e-9 {
+		t.Fatalf("overspent: %v > %v", spent, cfg.Budget)
+	}
+	// Residual Ps decays with investment.
+	if h.ResidualPs["big"] >= 1 {
+		t.Fatalf("hardening did not reduce Ps: %v", h.ResidualPs)
+	}
+	want := math.Exp(-h.Invest["big"])
+	if math.Abs(h.ResidualPs["big"]-want) > 1e-9 {
+		t.Fatalf("residual Ps = %v, want %v", h.ResidualPs["big"], want)
+	}
+	if h.ExpectedAverted <= 0 {
+		t.Fatal("no averted loss recorded")
+	}
+}
+
+func TestHardeningEqualizesMarginals(t *testing.T) {
+	// With equal losses the greedy allocation must split evenly.
+	m := matrixOf(map[string]map[string]float64{
+		"A": {"x": -50, "y": -50},
+	})
+	cfg := HardeningConfig{
+		Matrix:     m,
+		Targets:    adversary.UniformTargets(m.Targets, 1, 1),
+		AttackProb: map[string]float64{"x": 1, "y": 1},
+		Budget:     2,
+		Step:       0.01,
+	}
+	h, err := PlanHardening(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Invest["x"]-h.Invest["y"]) > 0.02 {
+		t.Fatalf("symmetric assets got asymmetric hardening: %v", h.Invest)
+	}
+}
+
+func TestHardeningZeroBudget(t *testing.T) {
+	cfg, targets := hardeningFixture()
+	cfg.Budget = 0
+	h, err := PlanHardening(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Invest) != 0 || h.ExpectedAverted != 0 {
+		t.Fatalf("zero budget invested: %+v", h)
+	}
+	for _, tg := range targets {
+		if h.ResidualPs[tg.ID] != tg.SuccessProb {
+			t.Fatalf("Ps changed without investment")
+		}
+	}
+}
+
+func TestHardeningValidation(t *testing.T) {
+	if _, err := PlanHardening(HardeningConfig{}); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	cfg, _ := hardeningFixture()
+	cfg.Budget = -1
+	if _, err := PlanHardening(cfg); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestApplyHardeningChangesAdversaryEconomics(t *testing.T) {
+	cfg, targets := hardeningFixture()
+	h, err := PlanHardening(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardened := ApplyHardening(targets, h, 2)
+	for i, ht := range hardened {
+		orig := targets[i]
+		if h.Invest[orig.ID] > 0 {
+			if ht.SuccessProb >= orig.SuccessProb {
+				t.Fatalf("%s: Ps not reduced", orig.ID)
+			}
+			if ht.Cost <= orig.Cost {
+				t.Fatalf("%s: Catk not raised", orig.ID)
+			}
+		} else if ht != orig {
+			t.Fatalf("%s: unhardened target mutated", orig.ID)
+		}
+	}
+	// The hardened economics must reduce the SA's optimum.
+	before, err := adversary.Solve(adversary.Config{Matrix: cfg.Matrix, Targets: targets, Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := adversary.Solve(adversary.Config{Matrix: cfg.Matrix, Targets: hardened, Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Anticipated > before.Anticipated {
+		t.Fatalf("hardening increased SA profit: %v > %v", after.Anticipated, before.Anticipated)
+	}
+}
+
+func TestHardeningActorScoped(t *testing.T) {
+	// Actor-scoped hardening only counts that actor's losses.
+	m := matrixOf(map[string]map[string]float64{
+		"A": {"t1": -100, "t2": 0},
+		"B": {"t1": 0, "t2": -100},
+	})
+	cfg := HardeningConfig{
+		Matrix:     m,
+		Targets:    adversary.UniformTargets(m.Targets, 1, 1),
+		AttackProb: map[string]float64{"t1": 1, "t2": 1},
+		Budget:     2,
+		Actor:      "A",
+	}
+	h, err := PlanHardening(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Invest["t2"] != 0 || h.Invest["t1"] == 0 {
+		t.Fatalf("actor scoping wrong: %v", h.Invest)
+	}
+}

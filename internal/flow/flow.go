@@ -1,0 +1,269 @@
+// Package flow implements the social-welfare dispatch of Section II-D1:
+// given an energy flow graph it chooses edge flows, generator injections and
+// load deliveries that maximize system-wide profit (social welfare), subject
+// to the paper's Eqs. 2–7 (capacity limits, supply/demand caps, and
+// loss-aware conservation of energy at every hub).
+//
+// The LP it builds is:
+//
+//	maximize  Σ_v price(v)·x_v − Σ_v supplyCost(v)·g_v − Σ_e cost(e)·f_e
+//	subject to, at every vertex v:
+//	    Σ_in f_(u,v) + g_v  =  Σ_out f_(v,w)/(1−loss(v,w)) + x_v
+//	and 0 ≤ f_e ≤ cap(e),  0 ≤ g_v ≤ supply(v),  0 ≤ x_v ≤ demand(v).
+//
+// Flows are measured at the delivery end: pushing f across a lossy edge
+// draws f/(1−l) at the sending hub, which is exactly the 1/(1−l) grossing-up
+// of the paper's Eq. 7.
+//
+// The vertex conservation duals λ(v) are the marginal value of one extra
+// unit of energy appearing at v — the "price of the alternative" the paper
+// uses for competitive profit division (Section II-D2). They are returned in
+// Result.Price.
+package flow
+
+import (
+	"fmt"
+
+	"cpsguard/internal/graph"
+	"cpsguard/internal/lp"
+)
+
+// Result is a solved dispatch.
+type Result struct {
+	// Welfare is the maximized social welfare (total system profit).
+	Welfare float64
+	// Flow maps edge ID to the delivered flow on that edge.
+	Flow map[string]float64
+	// Gen maps vertex ID to the generator injection at that vertex.
+	Gen map[string]float64
+	// Load maps vertex ID to the demand actually served there.
+	Load map[string]float64
+	// Price maps vertex ID to the marginal value λ(v) of energy at that
+	// vertex (the dual of its conservation constraint). By LP duality,
+	// injecting one marginal unit of free energy at v would raise welfare
+	// by λ(v).
+	Price map[string]float64
+	// CapacityRent maps edge ID to the shadow price of its capacity
+	// constraint: the welfare gain from one more unit of capacity.
+	CapacityRent map[string]float64
+	// Iterations counts simplex pivots (for performance diagnostics).
+	Iterations int
+}
+
+// Infeasible reports whether a dispatch failed because no feasible flow
+// exists (typically after validation was skipped on a broken model — the
+// base LP with zero lower bounds is always feasible at f=g=x=0, so this only
+// occurs with user-added side constraints).
+type InfeasibleError struct{ Status lp.Status }
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("flow: dispatch LP terminated with status %v", e.Status)
+}
+
+// Dispatch solves the social-welfare optimum for g.
+func Dispatch(g *graph.Graph) (*Result, error) {
+	return DispatchOpts(g, Options{})
+}
+
+// Options tunes dispatch.
+type Options struct {
+	// LP forwards solver options.
+	LP lp.Options
+	// FixedFlow pins specific edges to exact flow values (used by the
+	// iterative profit-division algorithm to hold an actor's outflows
+	// fixed while competitors re-optimize).
+	FixedFlow map[string]float64
+}
+
+// DispatchOpts solves the social-welfare optimum with explicit options.
+func DispatchOpts(g *graph.Graph, opts Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	b := newBuilder(g)
+	p := b.build(opts.FixedFlow)
+	sol, err := p.SolveOpts(opts.LP)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, &InfeasibleError{Status: sol.Status}
+	}
+	return b.result(sol), nil
+}
+
+// builder maps graph entities to LP variable/constraint indices.
+type builder struct {
+	g *graph.Graph
+	// variable indices
+	fVar []int // per edge
+	gVar []int // per vertex, -1 if no supply
+	xVar []int // per vertex, -1 if no demand
+	// constraint indices
+	consRow []int // conservation row per vertex
+}
+
+func newBuilder(g *graph.Graph) *builder {
+	return &builder{
+		g:       g,
+		fVar:    make([]int, len(g.Edges)),
+		gVar:    make([]int, len(g.Vertices)),
+		xVar:    make([]int, len(g.Vertices)),
+		consRow: make([]int, len(g.Vertices)),
+	}
+}
+
+func (b *builder) build(fixed map[string]float64) *lp.Problem {
+	g := b.g
+	p := lp.NewProblem()
+	// Edge flow variables. The LP minimizes, so welfare terms enter
+	// negated: minimize Σ a·f + Σ gc·g − Σ price·x.
+	for i, e := range g.Edges {
+		b.fVar[i] = p.AddVariable("f:"+e.ID, e.Cost, e.Capacity)
+	}
+	for i, v := range g.Vertices {
+		if v.Supply > 0 {
+			b.gVar[i] = p.AddVariable("g:"+v.ID, v.SupplyCost, v.Supply)
+		} else {
+			b.gVar[i] = -1
+		}
+		if v.Demand > 0 {
+			b.xVar[i] = p.AddVariable("x:"+v.ID, -v.Price, v.Demand)
+		} else {
+			b.xVar[i] = -1
+		}
+	}
+	// Conservation rows: inflow + gen − Σ out f/(1−l) − load = 0.
+	for i, v := range g.Vertices {
+		var coefs []lp.Coef
+		for j, e := range g.Edges {
+			if e.To == v.ID {
+				coefs = append(coefs, lp.Coef{Var: b.fVar[j], Value: 1})
+			}
+			if e.From == v.ID {
+				coefs = append(coefs, lp.Coef{Var: b.fVar[j], Value: -1 / (1 - e.Loss)})
+			}
+		}
+		if b.gVar[i] >= 0 {
+			coefs = append(coefs, lp.Coef{Var: b.gVar[i], Value: 1})
+		}
+		if b.xVar[i] >= 0 {
+			coefs = append(coefs, lp.Coef{Var: b.xVar[i], Value: -1})
+		}
+		if len(coefs) == 0 {
+			// Isolated vertex: no constraint needed; mark row absent.
+			b.consRow[i] = -1
+			continue
+		}
+		b.consRow[i] = p.AddConstraint(lp.Constraint{
+			Coefs: coefs, Sense: lp.EQ, RHS: 0, Name: "cons:" + v.ID,
+		})
+	}
+	// Fixed flows (equality pins).
+	for id, fx := range fixed {
+		idx := g.EdgeIndex(id)
+		if idx < 0 {
+			continue
+		}
+		p.AddConstraint(lp.Constraint{
+			Coefs: []lp.Coef{{Var: b.fVar[idx], Value: 1}},
+			Sense: lp.EQ, RHS: fx, Name: "fix:" + id,
+		})
+	}
+	return p
+}
+
+func (b *builder) result(sol *lp.Solution) *Result {
+	g := b.g
+	r := &Result{
+		Welfare:      -sol.Objective,
+		Flow:         make(map[string]float64, len(g.Edges)),
+		Gen:          make(map[string]float64),
+		Load:         make(map[string]float64),
+		Price:        make(map[string]float64, len(g.Vertices)),
+		CapacityRent: make(map[string]float64, len(g.Edges)),
+		Iterations:   sol.Iterations,
+	}
+	for i, e := range g.Edges {
+		r.Flow[e.ID] = sol.X[b.fVar[i]]
+		// The LP minimizes; a binding capacity bound has BoundDual ≤ 0
+		// (relaxing it lowers cost, i.e. raises welfare). Report the
+		// rent as a welfare gain: −dual ≥ 0.
+		if bd := sol.BoundDuals[b.fVar[i]]; bd != 0 {
+			r.CapacityRent[e.ID] = -bd
+		} else {
+			r.CapacityRent[e.ID] = 0
+		}
+	}
+	for i, v := range g.Vertices {
+		if b.gVar[i] >= 0 {
+			r.Gen[v.ID] = sol.X[b.gVar[i]]
+		}
+		if b.xVar[i] >= 0 {
+			r.Load[v.ID] = sol.X[b.xVar[i]]
+		}
+		if b.consRow[i] >= 0 {
+			// The conservation row is (inflow + gen − outdrawn − load
+			// = 0) and the LP minimizes −welfare. One free unit
+			// *appearing* at v shifts the RHS to −1, changing minimal
+			// cost by −dual, i.e. changing welfare by +dual. Hence
+			// λ(v) = dual directly.
+			r.Price[v.ID] = sol.Duals[b.consRow[i]]
+		}
+	}
+	return r
+}
+
+// Balance returns the conservation residual at vertex id under result r:
+// inflow + gen − Σ out f/(1−l) − load. A correct dispatch keeps this ~0 for
+// every vertex; tests use it as an invariant.
+func Balance(g *graph.Graph, r *Result, id string) float64 {
+	sum := 0.0
+	for _, i := range g.InEdges(id) {
+		sum += r.Flow[g.Edges[i].ID]
+	}
+	for _, i := range g.OutEdges(id) {
+		e := g.Edges[i]
+		sum -= r.Flow[e.ID] / (1 - e.Loss)
+	}
+	sum += r.Gen[id]
+	sum -= r.Load[id]
+	return sum
+}
+
+// WelfareFromParts recomputes welfare from the primal values (revenues −
+// generation costs − transport costs); tests compare it to Result.Welfare.
+func WelfareFromParts(g *graph.Graph, r *Result) float64 {
+	w := 0.0
+	for _, v := range g.Vertices {
+		w += v.Price * r.Load[v.ID]
+		w -= v.SupplyCost * r.Gen[v.ID]
+	}
+	for _, e := range g.Edges {
+		w -= e.Cost * r.Flow[e.ID]
+	}
+	return w
+}
+
+// Served reports the total demand served across all sinks.
+func (r *Result) Served() float64 {
+	t := 0.0
+	for _, x := range r.Load {
+		t += x
+	}
+	return t
+}
+
+// SpareCapacityFraction estimates the system's spare generating headroom:
+// 1 − (total injection / total supply). The paper tunes its model to ~15%.
+func SpareCapacityFraction(g *graph.Graph, r *Result) float64 {
+	supply := g.TotalSupply()
+	if supply == 0 {
+		return 0
+	}
+	used := 0.0
+	for _, gen := range r.Gen {
+		used += gen
+	}
+	return 1 - used/supply
+}

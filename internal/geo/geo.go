@@ -1,0 +1,77 @@
+// Package geo provides the small geographic toolkit the westgrid model uses
+// to derive transmission losses from distance: state centroids, great-circle
+// (haversine) distances, and the paper's 1%-per-400-km gas pipeline loss
+// rule (Section III-A2, citing FERC).
+package geo
+
+import "math"
+
+// Point is a latitude/longitude pair in degrees.
+type Point struct {
+	Lat float64
+	Lon float64
+}
+
+// EarthRadiusKm is the mean Earth radius used by Distance.
+const EarthRadiusKm = 6371.0
+
+// Distance returns the great-circle distance between two points in km.
+func Distance(a, b Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1, lon1 := a.Lat*degToRad, a.Lon*degToRad
+	lat2, lon2 := b.Lat*degToRad, b.Lon*degToRad
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// GasLossPer400Km is the typical fractional pipeline loss per 400 km the
+// paper takes from FERC data.
+const GasLossPer400Km = 0.01
+
+// PipelineLoss returns the fractional loss for a gas pipeline of the given
+// length using the paper's 1%/400 km rule, capped below 1.
+func PipelineLoss(km float64) float64 {
+	l := GasLossPer400Km * km / 400
+	if l >= 0.99 {
+		return 0.99
+	}
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// LineLossPerKm is the per-km fractional loss we use for long-haul electric
+// transmission (≈5% per 1000 km, a standard HVAC planning figure; the paper
+// computes electric losses "similarly" to gas from centroid distances).
+const LineLossPerKm = 0.05 / 1000
+
+// TransmissionLoss returns the fractional loss for an electric line of the
+// given length.
+func TransmissionLoss(km float64) float64 {
+	l := LineLossPerKm * km
+	if l >= 0.99 {
+		return 0.99
+	}
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// StateCentroids holds approximate geographic centroids for the six western
+// US states of the paper's experimental model (Figure 1).
+var StateCentroids = map[string]Point{
+	"WA": {47.38, -120.45},
+	"OR": {43.93, -120.56},
+	"CA": {37.18, -119.47},
+	"NV": {39.33, -116.63},
+	"AZ": {34.27, -111.66},
+	"UT": {39.31, -111.67},
+}
+
+// States lists the modelled states in a stable order.
+var States = []string{"WA", "OR", "CA", "NV", "AZ", "UT"}

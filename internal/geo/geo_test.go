@@ -1,0 +1,88 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	// Seattle ↔ Los Angeles ≈ 1545 km.
+	sea := Point{47.61, -122.33}
+	la := Point{34.05, -118.24}
+	d := Distance(sea, la)
+	if d < 1500 || d > 1600 {
+		t.Fatalf("SEA-LA distance = %v km, want ≈1545", d)
+	}
+	if Distance(sea, sea) != 0 {
+		t.Fatal("zero distance to self")
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		wrap := func(x, lim float64) float64 { return math.Mod(math.Abs(x), lim) }
+		a := Point{wrap(lat1, 89), wrap(lon1, 179)}
+		b := Point{wrap(lat2, 89), wrap(lon2, 179)}
+		d1, d2 := Distance(a, b), Distance(b, a)
+		if math.IsNaN(d1) || d1 < 0 {
+			return false
+		}
+		return math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineLoss(t *testing.T) {
+	if got := PipelineLoss(400); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("loss(400km) = %v, want 0.01", got)
+	}
+	if got := PipelineLoss(1000); math.Abs(got-0.025) > 1e-12 {
+		t.Fatalf("loss(1000km) = %v, want 0.025", got)
+	}
+	if PipelineLoss(1e9) != 0.99 {
+		t.Fatal("loss must cap at 0.99")
+	}
+	if PipelineLoss(-5) != 0 {
+		t.Fatal("negative distance clamps to 0")
+	}
+}
+
+func TestTransmissionLoss(t *testing.T) {
+	if got := TransmissionLoss(1000); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("electric loss(1000km) = %v, want 0.05", got)
+	}
+	if TransmissionLoss(1e9) != 0.99 || TransmissionLoss(-1) != 0 {
+		t.Fatal("clamps wrong")
+	}
+}
+
+func TestStateCentroidsComplete(t *testing.T) {
+	if len(States) != 6 {
+		t.Fatalf("want 6 states, got %d", len(States))
+	}
+	for _, s := range States {
+		p, ok := StateCentroids[s]
+		if !ok {
+			t.Fatalf("missing centroid for %s", s)
+		}
+		if p.Lat < 30 || p.Lat > 50 || p.Lon > -105 || p.Lon < -125 {
+			t.Fatalf("%s centroid %v outside the western US", s, p)
+		}
+	}
+}
+
+func TestInterstateDistancesPlausible(t *testing.T) {
+	// WA↔AZ is the longest modelled hop (~1600 km); WA↔OR the shortest
+	// (~380 km). Sanity-check the centroid table produces sane hops.
+	d := Distance(StateCentroids["WA"], StateCentroids["AZ"])
+	if d < 1200 || d > 1900 {
+		t.Fatalf("WA-AZ = %v km, implausible", d)
+	}
+	d = Distance(StateCentroids["WA"], StateCentroids["OR"])
+	if d < 250 || d > 550 {
+		t.Fatalf("WA-OR = %v km, implausible", d)
+	}
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, one node per vertex and one
+// arrow per edge, labelled with capacity and loss — a machine-renderable
+// stand-in for the paper's Figure 1. Vertices with supply render as boxes,
+// with demand as houses, hubs as ellipses; edge kinds map to colors.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=LR;\n  node [fontsize=10];\n  edge [fontsize=8];\n")
+
+	for _, v := range g.Vertices {
+		shape := "ellipse"
+		label := v.ID
+		switch {
+		case v.Supply > 0:
+			shape = "box"
+			label = fmt.Sprintf("%s\\ns=%.4g @ %.4g", v.ID, v.Supply, v.SupplyCost)
+		case v.Demand > 0:
+			shape = "house"
+			label = fmt.Sprintf("%s\\nd=%.4g @ %.4g", v.ID, v.Demand, v.Price)
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, label=%q];\n", v.ID, shape, label)
+	}
+
+	colors := map[Kind]string{
+		KindTransmission: "blue",
+		KindPipeline:     "orange",
+		KindGeneration:   "darkgreen",
+		KindDistribution: "gray40",
+		KindConversion:   "red",
+		KindImport:       "purple",
+	}
+	for _, e := range g.Edges {
+		color, ok := colors[e.Kind]
+		if !ok {
+			color = "black"
+		}
+		label := fmt.Sprintf("%s\\nc=%.4g", e.ID, e.Capacity)
+		if e.Loss > 0 {
+			label += fmt.Sprintf(" l=%.3g", e.Loss)
+		}
+		fmt.Fprintf(&b, "  %q -> %q [color=%s, label=%q];\n", e.From, e.To, color, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// KindCounts tallies edges by kind (diagnostics and tests).
+func (g *Graph) KindCounts() map[Kind]int {
+	out := map[Kind]int{}
+	for _, e := range g.Edges {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// SortedVertexIDs returns all vertex IDs in sorted order.
+func (g *Graph) SortedVertexIDs() []string {
+	ids := make([]string, len(g.Vertices))
+	for i, v := range g.Vertices {
+		ids[i] = v.ID
+	}
+	sort.Strings(ids)
+	return ids
+}

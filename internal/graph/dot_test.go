@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func dotGraph() *Graph {
+	g := New("dot-test")
+	g.MustAddVertex(Vertex{ID: "gen", Supply: 50, SupplyCost: 3})
+	g.MustAddVertex(Vertex{ID: "hub"})
+	g.MustAddVertex(Vertex{ID: "load", Demand: 40, Price: 9})
+	g.MustAddEdge(Edge{ID: "a", From: "gen", To: "hub", Capacity: 50, Kind: KindGeneration})
+	g.MustAddEdge(Edge{ID: "b", From: "hub", To: "load", Capacity: 45, Loss: 0.05, Kind: KindDistribution})
+	return g
+}
+
+func TestDOTStructure(t *testing.T) {
+	out := dotGraph().DOT()
+	for _, want := range []string{
+		`digraph "dot-test"`,
+		`"gen" [shape=box`,
+		`"load" [shape=house`,
+		`"hub" [shape=ellipse`,
+		`"gen" -> "hub"`,
+		`"hub" -> "load"`,
+		"color=darkgreen",
+		"color=gray40",
+		"l=0.05",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("DOT not closed")
+	}
+}
+
+func TestDOTUnknownKindBlack(t *testing.T) {
+	g := dotGraph()
+	g.Edges[0].Kind = "mystery"
+	if !strings.Contains(g.DOT(), "color=black") {
+		t.Error("unknown kind should render black")
+	}
+}
+
+func TestKindCounts(t *testing.T) {
+	counts := dotGraph().KindCounts()
+	if counts[KindGeneration] != 1 || counts[KindDistribution] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestSortedVertexIDs(t *testing.T) {
+	ids := dotGraph().SortedVertexIDs()
+	if len(ids) != 3 || ids[0] != "gen" || ids[1] != "hub" || ids[2] != "load" {
+		t.Fatalf("ids = %v", ids)
+	}
+}

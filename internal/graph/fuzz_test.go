@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalValidate feeds arbitrary bytes through the JSON decoder and
+// validator: neither may panic, and any graph that validates must survive
+// a marshal → unmarshal → validate round trip.
+func FuzzUnmarshalValidate(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"name":"x","vertices":[],"edges":[]}`,
+		`{"vertices":[{"id":"a","supply":5}],"edges":[]}`,
+		`{"vertices":[{"id":"a"},{"id":"b","demand":3,"price":2}],
+		  "edges":[{"id":"e","from":"a","to":"b","capacity":4,"loss":0.1}]}`,
+		`{"vertices":[{"id":"a"},{"id":"a"}],"edges":[]}`,
+		`{"vertices":[{"id":"a"}],"edges":[{"id":"e","from":"a","to":"zzz","capacity":1}]}`,
+		`{"vertices":[{"id":"a"},{"id":"b"}],"edges":[{"id":"e","from":"a","to":"b","capacity":-1}]}`,
+		`{"vertices":[{"id":"a"},{"id":"b"}],"edges":[{"id":"e","from":"a","to":"b","capacity":1,"loss":1.5}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // malformed JSON is fine
+		}
+		if err := g.Validate(); err != nil {
+			return // invalid graphs must be *reported*, not panic
+		}
+		out, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("valid graph failed to marshal: %v", err)
+		}
+		var back Graph
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round trip invalidated the graph: %v", err)
+		}
+		if len(back.Vertices) != len(g.Vertices) || len(back.Edges) != len(g.Edges) {
+			t.Fatal("round trip changed entity counts")
+		}
+	})
+}

@@ -1,0 +1,265 @@
+// Package impact implements Section II-D3: attacks are represented as
+// perturbations of the flow-graph parameters (capacity, cost, loss), and
+// their impact is the change they induce in each actor's profit,
+// Impact = Utility′ − Utility.
+//
+// The central artifact is the impact matrix IM[a,t] — the profit delta for
+// actor a when target (asset/edge) t is attacked — which drives both the
+// strategic adversary (package adversary) and the defenders (package
+// defense). Because profits are divided by a model that sums exactly to
+// social welfare, Σ_a IM[a,t] equals the welfare change of the attack: the
+// "gains are met with losses" zero-sum property behind the paper's Fig. 2.
+package impact
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsguard/internal/actors"
+	"cpsguard/internal/flow"
+	"cpsguard/internal/graph"
+	"cpsguard/internal/parallel"
+)
+
+// Field names a perturbable edge parameter.
+type Field int8
+
+const (
+	// Capacity perturbs c(u,v).
+	Capacity Field = iota
+	// Cost perturbs a(u,v).
+	Cost
+	// Loss perturbs l(u,v).
+	Loss
+)
+
+// String implements fmt.Stringer.
+func (f Field) String() string {
+	switch f {
+	case Capacity:
+		return "capacity"
+	case Cost:
+		return "cost"
+	case Loss:
+		return "loss"
+	default:
+		return fmt.Sprintf("Field(%d)", int8(f))
+	}
+}
+
+// Perturbation is one parameter override on one edge.
+type Perturbation struct {
+	EdgeID string
+	Field  Field
+	// Value is the new absolute value of the field.
+	Value float64
+}
+
+// Outage returns the paper's experimental attack: reduce the target's
+// capacity to zero ("crashing a PLC", Section III-A3).
+func Outage(edgeID string) Perturbation {
+	return Perturbation{EdgeID: edgeID, Field: Capacity, Value: 0}
+}
+
+// Apply returns a clone of g with the perturbations applied. Unknown edge
+// IDs return an error (attacking a non-existent asset is a modeling bug).
+func Apply(g *graph.Graph, ps ...Perturbation) (*graph.Graph, error) {
+	c := g.Clone()
+	for _, p := range ps {
+		e := c.Edge(p.EdgeID)
+		if e == nil {
+			return nil, fmt.Errorf("impact: unknown edge %q", p.EdgeID)
+		}
+		switch p.Field {
+		case Capacity:
+			e.Capacity = p.Value
+		case Cost:
+			e.Cost = p.Value
+		case Loss:
+			e.Loss = p.Value
+		default:
+			return nil, fmt.Errorf("impact: unknown field %v", p.Field)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("impact: perturbed graph invalid: %w", err)
+	}
+	return c, nil
+}
+
+// Analysis bundles the pieces needed to measure impacts on one scenario.
+type Analysis struct {
+	// Graph is the ground-truth (or believed) model.
+	Graph *graph.Graph
+	// Ownership maps assets to actors.
+	Ownership actors.Ownership
+	// Model divides welfare among actors (default LMPDivision).
+	Model actors.ProfitModel
+	// Parallel configures fan-out across targets (default: all cores).
+	Parallel parallel.Options
+}
+
+func (a *Analysis) model() actors.ProfitModel {
+	if a.Model != nil {
+		return a.Model
+	}
+	return actors.LMPDivision{}
+}
+
+// Baseline dispatches the unperturbed system and returns its per-actor
+// profits and welfare.
+func (a *Analysis) Baseline() (actors.Profits, *flow.Result, error) {
+	r, err := flow.Dispatch(a.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := a.model().Divide(a.Graph, r, a.Ownership)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, r, nil
+}
+
+// Of measures the impact of a single attack (set of perturbations): the
+// per-actor profit deltas and the system welfare delta.
+func (a *Analysis) Of(ps ...Perturbation) (actors.Profits, float64, error) {
+	base, baseR, err := a.Baseline()
+	if err != nil {
+		return nil, 0, err
+	}
+	return a.ofWithBaseline(base, baseR, ps...)
+}
+
+func (a *Analysis) ofWithBaseline(base actors.Profits, baseR *flow.Result, ps ...Perturbation) (actors.Profits, float64, error) {
+	gp, err := Apply(a.Graph, ps...)
+	if err != nil {
+		return nil, 0, err
+	}
+	r, err := flow.Dispatch(gp)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := a.model().Divide(gp, r, a.Ownership)
+	if err != nil {
+		return nil, 0, err
+	}
+	delta := actors.Profits{}
+	for actor, v := range p {
+		delta[actor] = v - base[actor]
+	}
+	for actor, v := range base {
+		if _, ok := p[actor]; !ok {
+			delta[actor] = -v
+		}
+	}
+	return delta, r.Welfare - baseR.Welfare, nil
+}
+
+// Matrix is the impact matrix IM[a][t] plus bookkeeping.
+type Matrix struct {
+	// IM maps actor → target → profit delta.
+	IM map[string]map[string]float64
+	// WelfareDelta maps target → system welfare change (≤ 0 up to LP
+	// tolerance, since the baseline is the welfare optimum).
+	WelfareDelta map[string]float64
+	// Targets lists the attacked asset IDs in sorted order.
+	Targets []string
+	// Actors lists all actor IDs appearing in the ownership, sorted.
+	Actors []string
+	// BaselineWelfare is the unattacked system welfare.
+	BaselineWelfare float64
+}
+
+// Get returns IM[actor][target] (0 when absent).
+func (m *Matrix) Get(actor, target string) float64 {
+	if row, ok := m.IM[actor]; ok {
+		return row[target]
+	}
+	return 0
+}
+
+// Column returns the per-actor impacts of one target as a map (never nil).
+func (m *Matrix) Column(target string) map[string]float64 {
+	col := make(map[string]float64, len(m.Actors))
+	for _, a := range m.Actors {
+		col[a] = m.Get(a, target)
+	}
+	return col
+}
+
+// GainLoss sums the positive entries and the negative entries of the whole
+// matrix — the quantities plotted in the paper's Figure 2.
+func (m *Matrix) GainLoss() (gain, loss float64) {
+	for _, row := range m.IM {
+		for _, v := range row {
+			if v > 0 {
+				gain += v
+			} else {
+				loss += v
+			}
+		}
+	}
+	return gain, loss
+}
+
+// ComputeMatrix builds the impact matrix for single-asset outage attacks on
+// every listed target (nil targets = every edge). Targets are processed in
+// parallel; each target costs one dispatch + one profit division.
+func (a *Analysis) ComputeMatrix(targets []string) (*Matrix, error) {
+	return a.ComputeMatrixOf(targets, func(id string) []Perturbation {
+		return []Perturbation{Outage(id)}
+	})
+}
+
+// ComputeMatrixOf builds an impact matrix for an arbitrary attack vector:
+// mk maps each target asset to the perturbations its attack applies. This
+// supports the paper's "more subtle" attacks (Section II-D3) — e.g. a
+// stealthy loss increase or a cost manipulation — alongside the outage.
+func (a *Analysis) ComputeMatrixOf(targets []string, mk func(id string) []Perturbation) (*Matrix, error) {
+	if targets == nil {
+		targets = a.Graph.AssetIDs()
+	}
+	base, baseR, err := a.Baseline()
+	if err != nil {
+		return nil, err
+	}
+	type col struct {
+		deltas actors.Profits
+		dw     float64
+	}
+	cols, err := parallel.Map(len(targets), a.Parallel, func(i int) (col, error) {
+		deltas, dw, err := a.ofWithBaseline(base, baseR, mk(targets[i])...)
+		if err != nil {
+			return col{}, fmt.Errorf("target %s: %w", targets[i], err)
+		}
+		return col{deltas, dw}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{
+		IM:              map[string]map[string]float64{},
+		WelfareDelta:    map[string]float64{},
+		Targets:         append([]string(nil), targets...),
+		Actors:          a.Ownership.Actors(),
+		BaselineWelfare: baseR.Welfare,
+	}
+	// Ensure every owning actor has a row even if all its deltas are 0.
+	for _, actor := range m.Actors {
+		m.IM[actor] = map[string]float64{}
+	}
+	for i, t := range targets {
+		m.WelfareDelta[t] = cols[i].dw
+		for actor, v := range cols[i].deltas {
+			row, ok := m.IM[actor]
+			if !ok {
+				row = map[string]float64{}
+				m.IM[actor] = row
+				m.Actors = append(m.Actors, actor)
+			}
+			row[t] = v
+		}
+	}
+	sort.Strings(m.Actors)
+	return m, nil
+}

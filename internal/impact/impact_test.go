@@ -1,0 +1,223 @@
+package impact
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cpsguard/internal/actors"
+	"cpsguard/internal/graph"
+	"cpsguard/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// duopoly: two parallel supply chains serving one city. Attacking one chain
+// benefits the other's owner — the paper's competitor-elimination scenario.
+func duopoly() (*graph.Graph, actors.Ownership) {
+	g := graph.New("duopoly")
+	g.MustAddVertex(graph.Vertex{ID: "gen1", Supply: 100, SupplyCost: 2})
+	g.MustAddVertex(graph.Vertex{ID: "gen2", Supply: 100, SupplyCost: 3})
+	g.MustAddVertex(graph.Vertex{ID: "city", Demand: 120, Price: 10})
+	g.MustAddEdge(graph.Edge{ID: "chain1", From: "gen1", To: "city", Capacity: 80})
+	g.MustAddEdge(graph.Edge{ID: "chain2", From: "gen2", To: "city", Capacity: 80})
+	o := actors.Ownership{"chain1": "A", "chain2": "B"}
+	return g, o
+}
+
+func TestFieldString(t *testing.T) {
+	if Capacity.String() != "capacity" || Cost.String() != "cost" || Loss.String() != "loss" {
+		t.Fatal("Field strings wrong")
+	}
+	if !strings.Contains(Field(9).String(), "9") {
+		t.Fatal("unknown field should render its number")
+	}
+}
+
+func TestApply(t *testing.T) {
+	g, _ := duopoly()
+	gp, err := Apply(g, Outage("chain1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Edge("chain1").Capacity != 0 {
+		t.Fatal("outage not applied")
+	}
+	if g.Edge("chain1").Capacity != 80 {
+		t.Fatal("Apply mutated input")
+	}
+	if _, err := Apply(g, Perturbation{EdgeID: "nope", Field: Capacity}); err == nil {
+		t.Fatal("unknown edge accepted")
+	}
+	if _, err := Apply(g, Perturbation{EdgeID: "chain1", Field: Field(99), Value: 1}); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Apply(g, Perturbation{EdgeID: "chain1", Field: Loss, Value: 2}); err == nil {
+		t.Fatal("invalid loss accepted")
+	}
+	gp2, err := Apply(g, Perturbation{EdgeID: "chain2", Field: Cost, Value: 1.5},
+		Perturbation{EdgeID: "chain1", Field: Loss, Value: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp2.Edge("chain2").Cost != 1.5 || gp2.Edge("chain1").Loss != 0.25 {
+		t.Fatal("multi-perturbation failed")
+	}
+}
+
+func TestCompetitorElimination(t *testing.T) {
+	g, o := duopoly()
+	an := &Analysis{Graph: g, Ownership: o}
+	deltas, dw, err := an.Of(Outage("chain1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// System as a whole loses (welfare drop).
+	if dw >= -1e-6 {
+		t.Fatalf("welfare delta = %v, want negative", dw)
+	}
+	// A (attacked owner) loses, B gains (monopoly at the margin):
+	// pre-attack λ(city)=3 (marginal gen2); post-attack demand exceeds
+	// remaining capacity → λ(city)=10, B pockets the scarcity rent.
+	if deltas["A"] >= 0 {
+		t.Fatalf("attacked owner gained: %v", deltas)
+	}
+	if deltas["B"] <= 0 {
+		t.Fatalf("competitor did not gain: %v", deltas)
+	}
+	// Zero-sum against welfare: Σ_a IM[a,t] = Δwelfare.
+	sum := 0.0
+	for _, v := range deltas {
+		sum += v
+	}
+	if !approx(sum, dw, 1e-6*(1+math.Abs(dw))) {
+		t.Fatalf("Σ impacts %v ≠ Δwelfare %v", sum, dw)
+	}
+}
+
+func TestBaselineProfits(t *testing.T) {
+	g, o := duopoly()
+	an := &Analysis{Graph: g, Ownership: o}
+	p, r, err := an.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p.Total(), r.Welfare, 1e-6*(1+r.Welfare)) {
+		t.Fatalf("baseline profits %v don't sum to welfare %v", p.Total(), r.Welfare)
+	}
+}
+
+func TestComputeMatrixAllTargets(t *testing.T) {
+	g, o := duopoly()
+	an := &Analysis{Graph: g, Ownership: o}
+	m, err := an.ComputeMatrix(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Targets) != 2 {
+		t.Fatalf("targets = %v", m.Targets)
+	}
+	if m.BaselineWelfare <= 0 {
+		t.Fatal("baseline welfare should be positive")
+	}
+	// Each column must be zero-sum against its welfare delta.
+	for _, target := range m.Targets {
+		sum := 0.0
+		for _, a := range m.Actors {
+			sum += m.Get(a, target)
+		}
+		if !approx(sum, m.WelfareDelta[target], 1e-6*(1+math.Abs(m.WelfareDelta[target]))) {
+			t.Errorf("target %s: Σ=%v Δw=%v", target, sum, m.WelfareDelta[target])
+		}
+		if m.WelfareDelta[target] > 1e-6 {
+			t.Errorf("target %s: welfare increased under attack (%v)", target, m.WelfareDelta[target])
+		}
+	}
+	gain, loss := m.GainLoss()
+	if gain < 0 || loss > 0 {
+		t.Fatalf("gain=%v loss=%v signs wrong", gain, loss)
+	}
+	if gain == 0 {
+		t.Fatal("duopoly attack should produce a gainer")
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	g, o := duopoly()
+	an := &Analysis{Graph: g, Ownership: o}
+	m, err := an.ComputeMatrix([]string{"chain1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := m.Column("chain1")
+	if len(col) != len(m.Actors) {
+		t.Fatalf("column size %d, actors %d", len(col), len(m.Actors))
+	}
+	if m.Get("A", "chain1") != col["A"] {
+		t.Fatal("Get/Column disagree")
+	}
+	if m.Get("unknown-actor", "chain1") != 0 {
+		t.Fatal("unknown actor should read 0")
+	}
+}
+
+func TestMatrixWithMoreActorsProducesMoreGain(t *testing.T) {
+	// Sanity version of Fig. 2's driving intuition on a richer model:
+	// with a single actor there is no gainer (all impacts ≤ 0); with
+	// competing actors some positive impacts appear.
+	g, _ := duopoly()
+	mono := actors.Ownership{"chain1": "A", "chain2": "A"}
+	an := &Analysis{Graph: g, Ownership: mono}
+	m, err := an.ComputeMatrix(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain, _ := m.GainLoss()
+	if gain > 1e-6 {
+		t.Fatalf("monopoly ownership should never gain from attacks, gain=%v", gain)
+	}
+	duo := actors.Ownership{"chain1": "A", "chain2": "B"}
+	an2 := &Analysis{Graph: g, Ownership: duo}
+	m2, err := an2.ComputeMatrix(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain2, _ := m2.GainLoss()
+	if gain2 <= gain {
+		t.Fatalf("competition should raise attack gains: %v vs %v", gain2, gain)
+	}
+}
+
+func TestAnalysisWithIterativeModel(t *testing.T) {
+	g, o := duopoly()
+	an := &Analysis{Graph: g, Ownership: o, Model: actors.IterativeDivision{}}
+	_, dw, err := an.Of(Outage("chain2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw >= 0 {
+		t.Fatalf("welfare delta %v, want negative", dw)
+	}
+}
+
+func TestMatrixDeterministic(t *testing.T) {
+	// Random ownership + parallel matrix computation must be reproducible.
+	g, _ := duopoly()
+	o := actors.RandomOwnership(g, 2, rng.New(11))
+	an := &Analysis{Graph: g, Ownership: o}
+	m1, err := an.ComputeMatrix(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := an.ComputeMatrix(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range m1.Actors {
+		for _, tg := range m1.Targets {
+			if m1.Get(a, tg) != m2.Get(a, tg) {
+				t.Fatalf("nondeterministic IM[%s][%s]", a, tg)
+			}
+		}
+	}
+}

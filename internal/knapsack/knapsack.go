@@ -1,0 +1,202 @@
+// Package knapsack provides exact 0/1 knapsack solvers used by the defender
+// optimizations (Eqs. 12–14 reduce to a one-dimensional knapsack; the
+// collaborative variant of Eqs. 15–18 to a multi-dimensional one with one
+// budget row per cooperating actor).
+//
+// Sizes in this domain are tiny (≤ ~100 items, budgets covering ≤ a dozen),
+// so both solvers are exact depth-first branch and bound with greedy
+// incumbents; Solve additionally uses the classic fractional upper bound.
+package knapsack
+
+import (
+	"math"
+	"sort"
+)
+
+// Solve maximizes Σ value[i]·x_i subject to Σ weight[i]·x_i ≤ budget,
+// x ∈ {0,1}ⁿ, and returns the chosen indices (sorted) and the optimal value.
+// Items with non-positive value are never chosen; negative weights are not
+// supported (they panic, as they indicate a modeling bug upstream).
+func Solve(values, weights []float64, budget float64) ([]int, float64) {
+	n := len(values)
+	if len(weights) != n {
+		panic("knapsack: mismatched lengths")
+	}
+	type item struct {
+		idx     int
+		v, w    float64
+		density float64
+	}
+	items := make([]item, 0, n)
+	for i := 0; i < n; i++ {
+		if weights[i] < 0 {
+			panic("knapsack: negative weight")
+		}
+		if values[i] <= 0 {
+			continue
+		}
+		if weights[i] == 0 {
+			// Free positive-value items are always taken; fold them in
+			// afterwards via the zero-weight fast path below.
+			items = append(items, item{i, values[i], 0, math.Inf(1)})
+			continue
+		}
+		if weights[i] > budget {
+			continue
+		}
+		items = append(items, item{i, values[i], weights[i], values[i] / weights[i]})
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].density > items[b].density })
+
+	best := 0.0
+	var bestSet []int
+	var cur []int
+
+	// Fractional upper bound from item k with remaining capacity.
+	upper := func(k int, cap, val float64) float64 {
+		for ; k < len(items); k++ {
+			if items[k].w <= cap {
+				cap -= items[k].w
+				val += items[k].v
+			} else {
+				return val + items[k].density*cap
+			}
+		}
+		return val
+	}
+
+	var dfs func(k int, cap, val float64)
+	dfs = func(k int, cap, val float64) {
+		if val > best {
+			best = val
+			bestSet = append(bestSet[:0], cur...)
+		}
+		if k >= len(items) {
+			return
+		}
+		if upper(k, cap, val) <= best+1e-12 {
+			return
+		}
+		it := items[k]
+		if it.w <= cap {
+			cur = append(cur, it.idx)
+			dfs(k+1, cap-it.w, val+it.v)
+			cur = cur[:len(cur)-1]
+		}
+		dfs(k+1, cap, val)
+	}
+	dfs(0, budget, 0)
+
+	out := append([]int(nil), bestSet...)
+	sort.Ints(out)
+	return out, best
+}
+
+// SolveMulti maximizes Σ value[i]·x_i subject to, for every dimension d,
+// Σ weights[d][i]·x_i ≤ budgets[d]. Exact DFS branch and bound with a
+// sum-of-remaining-positive-values bound; suitable for the small instances
+// arising in collaborative defense. Returns chosen indices (sorted) and the
+// optimal value.
+func SolveMulti(values []float64, weights [][]float64, budgets []float64) ([]int, float64) {
+	n := len(values)
+	d := len(weights)
+	for _, row := range weights {
+		if len(row) != n {
+			panic("knapsack: mismatched multi weights")
+		}
+	}
+	if len(budgets) != d {
+		panic("knapsack: mismatched budgets")
+	}
+	// Candidate items: positive value, individually feasible.
+	var order []int
+	for i := 0; i < n; i++ {
+		if values[i] <= 0 {
+			continue
+		}
+		ok := true
+		for dd := 0; dd < d; dd++ {
+			if weights[dd][i] < 0 {
+				panic("knapsack: negative weight")
+			}
+			if weights[dd][i] > budgets[dd] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			order = append(order, i)
+		}
+	}
+	// Sort by value / max normalized weight (a reasonable surrogate
+	// density for multi-dim).
+	sort.Slice(order, func(a, b int) bool {
+		return density(values, weights, budgets, order[a]) > density(values, weights, budgets, order[b])
+	})
+	// Suffix sums of values for bounding.
+	suffix := make([]float64, len(order)+1)
+	for k := len(order) - 1; k >= 0; k-- {
+		suffix[k] = suffix[k+1] + values[order[k]]
+	}
+
+	best := 0.0
+	var bestSet []int
+	var cur []int
+	remaining := append([]float64(nil), budgets...)
+
+	var dfs func(k int, val float64)
+	dfs = func(k int, val float64) {
+		if val > best {
+			best = val
+			bestSet = append(bestSet[:0], cur...)
+		}
+		if k >= len(order) || val+suffix[k] <= best+1e-12 {
+			return
+		}
+		i := order[k]
+		fits := true
+		for dd := 0; dd < d; dd++ {
+			if weights[dd][i] > remaining[dd]+1e-12 {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			for dd := 0; dd < d; dd++ {
+				remaining[dd] -= weights[dd][i]
+			}
+			cur = append(cur, i)
+			dfs(k+1, val+values[i])
+			cur = cur[:len(cur)-1]
+			for dd := 0; dd < d; dd++ {
+				remaining[dd] += weights[dd][i]
+			}
+		}
+		dfs(k+1, val)
+	}
+	dfs(0, 0)
+
+	out := append([]int(nil), bestSet...)
+	sort.Ints(out)
+	return out, best
+}
+
+func density(values []float64, weights [][]float64, budgets []float64, i int) float64 {
+	maxNorm := 0.0
+	for d := range weights {
+		if budgets[d] <= 0 {
+			if weights[d][i] > 0 {
+				return 0
+			}
+			continue
+		}
+		norm := weights[d][i] / budgets[d]
+		if norm > maxNorm {
+			maxNorm = norm
+		}
+	}
+	if maxNorm == 0 {
+		return math.Inf(1)
+	}
+	return values[i] / maxNorm
+}

@@ -1,0 +1,177 @@
+package knapsack
+
+import (
+	"math"
+	"testing"
+
+	"cpsguard/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func brute(values, weights []float64, budget float64) float64 {
+	best := 0.0
+	n := len(values)
+	for mask := 0; mask < 1<<n; mask++ {
+		v, w := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+				w += weights[i]
+			}
+		}
+		if w <= budget && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func bruteMulti(values []float64, weights [][]float64, budgets []float64) float64 {
+	best := 0.0
+	n := len(values)
+	d := len(weights)
+	for mask := 0; mask < 1<<n; mask++ {
+		v := 0.0
+		ok := true
+		for dd := 0; dd < d && ok; dd++ {
+			w := 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[dd][i]
+				}
+			}
+			if w > budgets[dd] {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+			}
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestSolveClassic(t *testing.T) {
+	set, val := Solve([]float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	if !approx(val, 220, 1e-9) {
+		t.Fatalf("val = %v, want 220", val)
+	}
+	if len(set) != 2 || set[0] != 1 || set[1] != 2 {
+		t.Fatalf("set = %v, want [1 2]", set)
+	}
+}
+
+func TestSolveEdgeCases(t *testing.T) {
+	if set, val := Solve(nil, nil, 10); len(set) != 0 || val != 0 {
+		t.Fatal("empty knapsack not empty")
+	}
+	// Negative/zero values never chosen.
+	set, val := Solve([]float64{-5, 0, 3}, []float64{1, 1, 1}, 10)
+	if len(set) != 1 || set[0] != 2 || !approx(val, 3, 1e-12) {
+		t.Fatalf("set=%v val=%v", set, val)
+	}
+	// Zero-weight positive item always taken even with zero budget.
+	set, val = Solve([]float64{7}, []float64{0}, 0)
+	if len(set) != 1 || !approx(val, 7, 1e-12) {
+		t.Fatalf("free item skipped: %v %v", set, val)
+	}
+	// Item heavier than budget skipped.
+	set, _ = Solve([]float64{9}, []float64{5}, 4)
+	if len(set) != 0 {
+		t.Fatal("overweight item chosen")
+	}
+}
+
+func TestSolveAgainstBrute(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rs := rng.Derive(31, uint64(trial))
+		n := 1 + rs.Intn(12)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = (rs.Float64() - 0.2) * 10 // some negatives
+			weights[i] = rs.Float64() * 5
+		}
+		budget := rs.Float64() * 12
+		_, got := Solve(values, weights, budget)
+		want := brute(values, weights, budget)
+		if !approx(got, want, 1e-9*(1+want)) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestSolvePanicsOnBadInput(t *testing.T) {
+	assertPanics(t, func() { Solve([]float64{1}, []float64{1, 2}, 3) })
+	assertPanics(t, func() { Solve([]float64{1}, []float64{-1}, 3) })
+}
+
+func TestSolveMultiAgainstBrute(t *testing.T) {
+	for trial := 0; trial < 150; trial++ {
+		rs := rng.Derive(41, uint64(trial))
+		n := 1 + rs.Intn(10)
+		d := 1 + rs.Intn(3)
+		values := make([]float64, n)
+		weights := make([][]float64, d)
+		budgets := make([]float64, d)
+		for i := range values {
+			values[i] = (rs.Float64() - 0.2) * 10
+		}
+		for dd := 0; dd < d; dd++ {
+			weights[dd] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				weights[dd][i] = rs.Float64() * 5
+			}
+			budgets[dd] = rs.Float64() * 10
+		}
+		_, got := SolveMulti(values, weights, budgets)
+		want := bruteMulti(values, weights, budgets)
+		if !approx(got, want, 1e-9*(1+want)) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestSolveMultiReducesToSingle(t *testing.T) {
+	values := []float64{60, 100, 120}
+	weights := [][]float64{{10, 20, 30}}
+	set, val := SolveMulti(values, weights, []float64{50})
+	if !approx(val, 220, 1e-9) || len(set) != 2 {
+		t.Fatalf("multi-as-single: set=%v val=%v", set, val)
+	}
+}
+
+func TestSolveMultiZeroBudgetDimension(t *testing.T) {
+	// Item costless in dim 0 but dim-1 budget is 0 and it weighs there.
+	values := []float64{5}
+	weights := [][]float64{{0}, {1}}
+	set, val := SolveMulti(values, weights, []float64{10, 0})
+	if len(set) != 0 || val != 0 {
+		t.Fatalf("infeasible item chosen: %v %v", set, val)
+	}
+}
+
+func TestSolveMultiPanicsOnBadInput(t *testing.T) {
+	assertPanics(t, func() { SolveMulti([]float64{1}, [][]float64{{1, 2}}, []float64{1}) })
+	assertPanics(t, func() { SolveMulti([]float64{1}, [][]float64{{1}}, []float64{1, 2}) })
+	assertPanics(t, func() { SolveMulti([]float64{1}, [][]float64{{-1}}, []float64{1}) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,64 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"cpsguard/internal/rng"
+)
+
+// FuzzSolveAgreement decodes a byte string into a small random LP, solves
+// it with both simplex methods, and checks: no panics, statuses agree, and
+// optimal objectives match — an adversarial extension of TestMethodsAgree
+// driven by the fuzzer's corpus evolution.
+func FuzzSolveAgreement(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(2))
+	f.Add(uint64(42), uint8(1), uint8(0))
+	f.Add(uint64(7), uint8(6), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, nvRaw, ncRaw uint8) {
+		nv := 1 + int(nvRaw)%7
+		nc := int(ncRaw) % 6
+		rs := rng.New(seed)
+		p := NewProblem()
+		for j := 0; j < nv; j++ {
+			u := math.Inf(1)
+			if rs.Intn(2) == 0 {
+				u = rs.Float64() * 12
+			}
+			p.AddVariable("v", (rs.Float64()-0.5)*8, u)
+		}
+		for i := 0; i < nc; i++ {
+			var coefs []Coef
+			for j := 0; j < nv; j++ {
+				if rs.Intn(2) == 0 {
+					coefs = append(coefs, Coef{j, (rs.Float64() - 0.5) * 6})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = append(coefs, Coef{0, 1})
+			}
+			p.AddConstraint(Constraint{
+				Coefs: coefs,
+				Sense: Sense(rs.Intn(3)),
+				RHS:   (rs.Float64() - 0.5) * 10,
+			})
+		}
+		r1, err1 := p.SolveOpts(Options{Method: MethodRows})
+		r2, err2 := p.SolveOpts(Options{Method: MethodBounded})
+		if err1 != nil || err2 != nil {
+			// Dual-extraction failures on degenerate bases are
+			// reported errors, never panics; asymmetry is tolerated.
+			return
+		}
+		if r1.Status != r2.Status {
+			t.Fatalf("status mismatch: %v vs %v", r1.Status, r2.Status)
+		}
+		if r1.Status != Optimal {
+			return
+		}
+		scale := 1 + math.Abs(r1.Objective)
+		if math.Abs(r1.Objective-r2.Objective) > 1e-5*scale {
+			t.Fatalf("objective mismatch: %v vs %v", r1.Objective, r2.Objective)
+		}
+	})
+}

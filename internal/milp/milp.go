@@ -1,0 +1,206 @@
+// Package milp solves small mixed-integer linear programs with binary
+// variables by best-first branch and bound over the lp package's simplex.
+//
+// The paper solves both the strategic adversary's target selection (Eq. 8)
+// and the defenders' investment problems (Eqs. 12 and 16) "using MILP"; this
+// package is the generic engine. The adversary and defense packages also
+// ship specialized combinatorial solvers that exploit their problems'
+// closed-form structure — this generic solver is their correctness oracle
+// in tests and the fallback for user-defined variants.
+package milp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"cpsguard/internal/lp"
+)
+
+// Problem is a linear program plus a set of variables restricted to {0,1}.
+type Problem struct {
+	// LP is the relaxation. Binary variables must have upper bound ≤ 1.
+	LP *lp.Problem
+	// Binary lists the variable indices restricted to {0,1}.
+	Binary []int
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes caps explored branch-and-bound nodes (default 200_000).
+	MaxNodes int
+	// Tol is the integrality tolerance (default 1e-6).
+	Tol float64
+	// LP forwards options to the relaxation solver.
+	LP lp.Options
+}
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes > 0 {
+		return o.MaxNodes
+	}
+	return 200_000
+}
+
+func (o Options) tol() float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return 1e-6
+}
+
+// Solution is an optimal (or best-found) integer solution.
+type Solution struct {
+	Status    lp.Status
+	Objective float64
+	X         []float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Proven reports whether optimality was proven (false when MaxNodes
+	// was exhausted with an incumbent in hand).
+	Proven bool
+}
+
+// ErrNoIncumbent is returned when the node limit is hit before any integer
+// feasible solution was found.
+var ErrNoIncumbent = errors.New("milp: node limit reached with no incumbent")
+
+type node struct {
+	bound float64 // LP relaxation objective (lower bound for minimization)
+	fixed map[int]float64
+}
+
+type nodePQ []*node
+
+func (q nodePQ) Len() int           { return len(q) }
+func (q nodePQ) Less(i, j int) bool { return q[i].bound < q[j].bound }
+func (q nodePQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nodePQ) Push(x any)        { *q = append(*q, x.(*node)) }
+func (q *nodePQ) Pop() any          { old := *q; n := old[len(old)-1]; *q = old[:len(old)-1]; return n }
+func (q nodePQ) Peek() *node        { return q[0] }
+
+// Solve minimizes the problem's objective over the mixed-binary domain.
+func Solve(p Problem, opts Options) (*Solution, error) {
+	tol := opts.tol()
+
+	solveRelax := func(fixed map[int]float64) (*lp.Solution, error) {
+		// Fix variables by equality rows appended to a scratch copy.
+		scratch := cloneProblem(p.LP)
+		for v, val := range fixed {
+			scratch.AddConstraint(lp.Constraint{
+				Coefs: []lp.Coef{{Var: v, Value: 1}},
+				Sense: lp.EQ, RHS: val,
+				Name: fmt.Sprintf("fix:%d", v),
+			})
+		}
+		return scratch.SolveOpts(opts.LP)
+	}
+
+	root := &node{fixed: map[int]float64{}}
+	rootSol, err := solveRelax(root.fixed)
+	if err != nil {
+		return nil, err
+	}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		return &Solution{Status: lp.Infeasible, Nodes: 1}, nil
+	case lp.Unbounded:
+		return &Solution{Status: lp.Unbounded, Nodes: 1}, nil
+	case lp.IterationLimit:
+		return &Solution{Status: lp.IterationLimit, Nodes: 1}, nil
+	}
+	root.bound = rootSol.Objective
+
+	pq := nodePQ{root}
+	heap.Init(&pq)
+
+	var best *Solution
+	nodes := 0
+	relaxCache := map[*node]*lp.Solution{root: rootSol}
+
+	for pq.Len() > 0 && nodes < opts.maxNodes() {
+		n := heap.Pop(&pq).(*node)
+		nodes++
+		if best != nil && n.bound >= best.Objective-1e-12 {
+			continue // pruned by incumbent
+		}
+		sol := relaxCache[n]
+		delete(relaxCache, n)
+		if sol == nil {
+			sol, err = solveRelax(n.fixed)
+			if err != nil {
+				return nil, err
+			}
+			if sol.Status != lp.Optimal {
+				continue
+			}
+			if best != nil && sol.Objective >= best.Objective-1e-12 {
+				continue
+			}
+		}
+		// Find the most fractional binary variable.
+		branchVar := -1
+		worst := tol
+		for _, v := range p.Binary {
+			frac := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+			if frac > worst {
+				worst = frac
+				branchVar = v
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible: candidate incumbent.
+			if best == nil || sol.Objective < best.Objective {
+				x := append([]float64(nil), sol.X...)
+				for _, v := range p.Binary {
+					x[v] = math.Round(x[v])
+				}
+				best = &Solution{Status: lp.Optimal, Objective: sol.Objective, X: x}
+			}
+			continue
+		}
+		for _, val := range [2]float64{0, 1} {
+			child := &node{fixed: make(map[int]float64, len(n.fixed)+1)}
+			for k, v := range n.fixed {
+				child.fixed[k] = v
+			}
+			child.fixed[branchVar] = val
+			cs, err := solveRelax(child.fixed)
+			if err != nil {
+				return nil, err
+			}
+			if cs.Status != lp.Optimal {
+				continue
+			}
+			if best != nil && cs.Objective >= best.Objective-1e-12 {
+				continue
+			}
+			child.bound = cs.Objective
+			relaxCache[child] = cs
+			heap.Push(&pq, child)
+		}
+	}
+
+	if best == nil {
+		if nodes >= opts.maxNodes() {
+			return nil, ErrNoIncumbent
+		}
+		return &Solution{Status: lp.Infeasible, Nodes: nodes}, nil
+	}
+	best.Nodes = nodes
+	best.Proven = pq.Len() == 0 || pq.Peek().bound >= best.Objective-1e-12
+	return best, nil
+}
+
+// cloneProblem deep-copies an lp.Problem through its public API.
+func cloneProblem(src *lp.Problem) *lp.Problem {
+	dst := lp.NewProblem()
+	for v := 0; v < src.NumVariables(); v++ {
+		dst.AddVariable(src.VariableName(v), src.Cost(v), src.Upper(v))
+	}
+	for i := 0; i < src.NumConstraints(); i++ {
+		dst.AddConstraint(src.ConstraintAt(i))
+	}
+	return dst
+}

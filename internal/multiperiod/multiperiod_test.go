@@ -1,0 +1,230 @@
+package multiperiod
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cpsguard/internal/flow"
+	"cpsguard/internal/graph"
+	"cpsguard/internal/impact"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// system: a cheap slow generator and an expensive fast peaker serve one
+// city whose demand doubles at peak.
+func system() *graph.Graph {
+	g := graph.New("mp")
+	g.MustAddVertex(graph.Vertex{ID: "slow", Supply: 100, SupplyCost: 10})
+	g.MustAddVertex(graph.Vertex{ID: "peaker", Supply: 100, SupplyCost: 50})
+	g.MustAddVertex(graph.Vertex{ID: "city", Demand: 60, Price: 100})
+	g.MustAddEdge(graph.Edge{ID: "ls", From: "slow", To: "city", Capacity: 100})
+	g.MustAddEdge(graph.Edge{ID: "lp", From: "peaker", To: "city", Capacity: 100})
+	return g
+}
+
+func TestSinglePeriodMatchesFlowDispatch(t *testing.T) {
+	g := system()
+	mp, err := Dispatch(Config{Graph: g, Periods: []Period{{Name: "only", Weight: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := flow.Dispatch(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(mp.Total, fr.Welfare, 1e-6*(1+fr.Welfare)) {
+		t.Fatalf("single-period total %v ≠ flow welfare %v", mp.Total, fr.Welfare)
+	}
+}
+
+func TestWeightsScaleWelfare(t *testing.T) {
+	g := system()
+	r, err := Dispatch(Config{Graph: g, Periods: []Period{
+		{Name: "a", Weight: 2},
+		{Name: "b", Weight: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical periods, no coupling: total = 2·w + 1·w.
+	if !approx(r.Total, 2*r.Periods[0].Welfare+r.Periods[1].Welfare, 1e-6*(1+r.Total)) {
+		t.Fatalf("weighted total wrong: %v vs periods %v", r.Total, r.Periods)
+	}
+	if !approx(r.Periods[0].Welfare, r.Periods[1].Welfare, 1e-6*(1+r.Periods[0].Welfare)) {
+		t.Fatal("identical periods must have identical welfare")
+	}
+}
+
+func TestDemandScaleChangesDispatch(t *testing.T) {
+	g := system()
+	r, err := Dispatch(Config{Graph: g, Periods: []Period{
+		{Name: "night", Weight: 1, DemandScale: 0.5},
+		{Name: "peak", Weight: 1, DemandScale: 2.0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Periods[0].Load["city"], 30, 1e-6) {
+		t.Fatalf("night load = %v, want 30", r.Periods[0].Load["city"])
+	}
+	if !approx(r.Periods[1].Load["city"], 120, 1e-6) {
+		t.Fatalf("peak load = %v, want 120", r.Periods[1].Load["city"])
+	}
+	// Peak needs the expensive peaker for the 20 units beyond the slow
+	// generator's 100.
+	if r.Periods[1].Gen["peaker"] < 20-1e-6 {
+		t.Fatalf("peaker output = %v, want ≥20", r.Periods[1].Gen["peaker"])
+	}
+}
+
+func TestRampConstraintBinds(t *testing.T) {
+	g := system()
+	cfg := Config{
+		Graph: g,
+		Periods: []Period{
+			{Name: "night", Weight: 1, DemandScale: 0.5}, // slow serves 30
+			{Name: "peak", Weight: 1, DemandScale: 2.0},  // wants slow at 100
+		},
+		Ramp: map[string]float64{"slow": 20}, // slow can add only 20/period
+	}
+	r, err := Dispatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	night, peak := r.Periods[0].Gen["slow"], r.Periods[1].Gen["slow"]
+	if peak-night > 20+1e-6 {
+		t.Fatalf("ramp violated: %v → %v", night, peak)
+	}
+	// The optimizer should pre-position the slow unit above the myopic
+	// 30 at night (spilling cheap energy is impossible, so it balances
+	// cost of night overgeneration vs peak peaker usage — here night
+	// load is capped at 30, so slow can't exceed 30 at night; peak slow
+	// ≤ 50, peaker covers the rest).
+	if peak > 50+1e-6 {
+		t.Fatalf("peak slow output %v exceeds ramp-feasible 50", peak)
+	}
+	if r.Periods[1].Gen["peaker"] < 70-1e-6 {
+		t.Fatalf("peaker must cover %v, got %v", 120-peak, r.Periods[1].Gen["peaker"])
+	}
+	// Unconstrained comparison: total welfare must be weakly higher.
+	free, err := Dispatch(Config{Graph: g, Periods: cfg.Periods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total > free.Total+1e-6 {
+		t.Fatal("ramp constraint increased welfare")
+	}
+	if free.Total-r.Total < 1 {
+		t.Fatalf("ramp should cost welfare here: free %v vs ramped %v", free.Total, r.Total)
+	}
+}
+
+func TestTimedAttackOnlyAffectsItsPeriods(t *testing.T) {
+	g := system()
+	cfg := Config{
+		Graph: g,
+		Periods: []Period{
+			{Name: "t0", Weight: 1},
+			{Name: "t1", Weight: 1},
+			{Name: "t2", Weight: 1},
+		},
+		Attacks: []TimedAttack{{
+			Perturbation: impact.Outage("ls"),
+			From:         1, To: 1,
+		}},
+	}
+	r, err := Dispatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Periods[1].Flow["ls"] != 0 {
+		t.Fatalf("attacked period still flows: %v", r.Periods[1].Flow["ls"])
+	}
+	if r.Periods[0].Flow["ls"] <= 0 || r.Periods[2].Flow["ls"] <= 0 {
+		t.Fatal("unattacked periods should use the cheap line")
+	}
+	if r.Periods[1].Welfare >= r.Periods[0].Welfare {
+		t.Fatal("attacked period should lose welfare")
+	}
+}
+
+func TestImpactOfIsNegative(t *testing.T) {
+	g := system()
+	cfg := Config{Graph: g, Periods: []Period{
+		{Name: "a", Weight: 1}, {Name: "b", Weight: 1},
+	}}
+	delta, err := ImpactOf(cfg, TimedAttack{Perturbation: impact.Outage("ls"), From: 0, To: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta >= 0 {
+		t.Fatalf("attack impact = %v, want negative", delta)
+	}
+	// Longer attacks hurt at least as much.
+	short, err := ImpactOf(cfg, TimedAttack{Perturbation: impact.Outage("ls"), From: 0, To: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta > short+1e-9 {
+		t.Fatalf("2-period attack (%v) hurts less than 1-period (%v)", delta, short)
+	}
+}
+
+func TestRampSlowsAttackRecovery(t *testing.T) {
+	// With a ramp limit, an outage's damage persists after the attack
+	// ends: the slow generator cannot jump back to full output.
+	g := system()
+	base := Config{
+		Graph: g,
+		Periods: []Period{
+			{Name: "t0", Weight: 1}, {Name: "t1", Weight: 1}, {Name: "t2", Weight: 1},
+		},
+	}
+	withRamp := base
+	withRamp.Ramp = map[string]float64{"slow": 15}
+	attack := TimedAttack{Perturbation: impact.Outage("ls"), From: 1, To: 1}
+	freeDelta, err := ImpactOf(base, attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rampDelta, err := ImpactOf(withRamp, attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rampDelta > freeDelta+1e-9 {
+		t.Fatalf("ramped recovery should hurt at least as much: %v vs %v", rampDelta, freeDelta)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := system()
+	if _, err := Dispatch(Config{}); !errors.Is(err, ErrBadHorizon) {
+		t.Fatalf("nil config: %v", err)
+	}
+	if _, err := Dispatch(Config{Graph: g}); !errors.Is(err, ErrBadHorizon) {
+		t.Fatalf("no periods: %v", err)
+	}
+	if _, err := Dispatch(Config{Graph: g, Periods: []Period{{Weight: 0}}}); !errors.Is(err, ErrBadHorizon) {
+		t.Fatalf("zero weight: %v", err)
+	}
+	if _, err := Dispatch(Config{Graph: g,
+		Periods: []Period{{Weight: 1}},
+		Attacks: []TimedAttack{{Perturbation: impact.Outage("ls"), From: 0, To: 5}},
+	}); !errors.Is(err, ErrBadHorizon) {
+		t.Fatalf("bad attack range: %v", err)
+	}
+	if _, err := Dispatch(Config{Graph: g,
+		Periods: []Period{{Weight: 1}},
+		Attacks: []TimedAttack{{Perturbation: impact.Outage("zzz"), From: 0, To: 0}},
+	}); err == nil {
+		t.Fatal("unknown edge accepted")
+	}
+	if _, err := Dispatch(Config{Graph: g,
+		Periods: []Period{{Weight: 1}, {Weight: 1}},
+		Ramp:    map[string]float64{"nope": 1},
+	}); err == nil {
+		t.Fatal("unknown ramp vertex accepted")
+	}
+}

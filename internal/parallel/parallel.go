@@ -1,0 +1,145 @@
+// Package parallel provides the worker-pool primitives used to fan
+// Monte-Carlo trials (random ownership draws × noise draws) across CPU
+// cores. Results are written into order-preserving slices so parallel runs
+// are bit-identical to sequential ones.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when Options.Workers is zero:
+// GOMAXPROCS at call time.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Options configures a parallel map.
+type Options struct {
+	// Workers is the number of concurrent workers (default GOMAXPROCS).
+	Workers int
+	// Context cancels outstanding work early (default background).
+	Context context.Context
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return DefaultWorkers()
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// Map runs fn(i) for i in [0,n) across a worker pool and returns the results
+// in index order. The first error cancels remaining work and is returned
+// (results computed so far are still returned). fn must be safe for
+// concurrent invocation; panics inside fn are converted to errors.
+func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	ctx, cancel := context.WithCancel(opts.ctx())
+	defer cancel()
+
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							setErr(fmt.Errorf("parallel: task %d panicked: %v", i, r))
+						}
+					}()
+					v, err := fn(i)
+					if err != nil {
+						setErr(fmt.Errorf("parallel: task %d: %w", i, err))
+						return
+					}
+					results[i] = v
+				}()
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err == nil && opts.ctx().Err() != nil {
+		err = opts.ctx().Err()
+	}
+	return results, err
+}
+
+// ForEach is Map without per-task results.
+func ForEach(n int, opts Options, fn func(i int) error) error {
+	_, err := Map(n, opts, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// MeanOf runs fn(i) for i in [0,n) in parallel and returns the mean and
+// standard error of the returned values — the inner loop of every
+// Monte-Carlo experiment in this repository.
+func MeanOf(n int, opts Options, fn func(i int) (float64, error)) (mean, stderr float64, err error) {
+	vals, err := Map(n, opts, fn)
+	if err != nil {
+		return 0, 0, err
+	}
+	var sum, sumSq float64
+	for _, v := range vals {
+		sum += v
+		sumSq += v * v
+	}
+	fn2 := float64(n)
+	mean = sum / fn2
+	if n > 1 {
+		variance := (sumSq - sum*sum/fn2) / (fn2 - 1)
+		if variance < 0 {
+			variance = 0
+		}
+		stderr = math.Sqrt(variance / fn2)
+	}
+	return mean, stderr, nil
+}

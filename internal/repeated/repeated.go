@@ -1,0 +1,182 @@
+// Package repeated plays the adversary-vs-defenders game over multiple
+// rounds, extending the paper's one-shot formulation in the direction its
+// Section II-F4 sketches: "traditional dependability models can be
+// augmented with probability of failures that include security-oriented
+// attack probabilities."
+//
+// Each round, defenders estimate the attack distribution from *observed
+// history* (exponentially-smoothed attack frequencies — fictitious play)
+// instead of from a speculative model of the adversary, invest, and then
+// the adversary attacks. The adversary may optionally observe which assets
+// were defended last round and avoid them (an adaptive attacker). The
+// trajectory shows whether the empirical learning loop converges to the
+// one-shot model-based defense of the paper, and how much an adaptive
+// attacker erodes it.
+package repeated
+
+import (
+	"errors"
+	"fmt"
+
+	"cpsguard/internal/adversary"
+	"cpsguard/internal/core"
+	"cpsguard/internal/defense"
+	"cpsguard/internal/noise"
+	"cpsguard/internal/rng"
+)
+
+// Config parameterizes a repeated game.
+type Config struct {
+	// Rounds is the number of iterations (≥ 1).
+	Rounds int
+	// AttackBudget is the SA's per-round budget MA.
+	AttackBudget float64
+	// DefenseBudgetPerActor is each defender's per-round budget MD(a).
+	DefenseBudgetPerActor float64
+	// Smoothing is the exponential smoothing factor α for the defenders'
+	// empirical attack frequencies: Pa ← (1−α)·Pa + α·observed.
+	// Default 0.3.
+	Smoothing float64
+	// AttackerSigma is the adversary's per-round knowledge noise; fresh
+	// noise is drawn every round (reconnaissance is re-done).
+	AttackerSigma float64
+	// AdaptiveAttacker makes the SA avoid assets it saw defended in the
+	// previous round (it treats their success probability as zero).
+	AdaptiveAttacker bool
+	// Collaborative selects cost-shared defense.
+	Collaborative bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Config) smoothing() float64 {
+	if c.Smoothing > 0 {
+		return c.Smoothing
+	}
+	return 0.3
+}
+
+// Round is one settled iteration.
+type Round struct {
+	// Attacked is the SA's target set this round.
+	Attacked []string
+	// Defended is the union of protected assets this round.
+	Defended map[string]bool
+	// AdversaryProfit is the SA's realized ground-truth profit.
+	AdversaryProfit float64
+	// Averted is the profit the defense removed versus no defense.
+	Averted float64
+}
+
+// Result is a full trajectory.
+type Result struct {
+	Rounds []Round
+	// TotalAdversaryProfit sums realized profit over all rounds.
+	TotalAdversaryProfit float64
+	// TotalAverted sums averted damage over all rounds.
+	TotalAverted float64
+}
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("repeated: invalid config")
+
+// Play runs the repeated game on a scenario.
+func Play(s *core.Scenario, cfg Config) (*Result, error) {
+	if s == nil || cfg.Rounds < 1 {
+		return nil, fmt.Errorf("%w: nil scenario or rounds < 1", ErrBadConfig)
+	}
+	truth, err := s.Truth()
+	if err != nil {
+		return nil, err
+	}
+	targets := s.Targets
+	costs := defense.UniformCosts(truth.Targets, 1)
+
+	// Defenders' empirical attack distribution, learned online.
+	pa := map[string]float64{}
+	var prevDefended map[string]bool
+
+	res := &Result{}
+	alpha := cfg.smoothing()
+	for round := 0; round < cfg.Rounds; round++ {
+		// --- Defenders invest based on history.
+		var defended map[string]bool
+		if cfg.Collaborative {
+			budgets := map[string]float64{}
+			for _, a := range truth.Actors {
+				budgets[a] = cfg.DefenseBudgetPerActor
+			}
+			cinv, err := defense.PlanCollaborative(defense.CollaborativeConfig{
+				Matrix: truth, Ownership: s.Ownership,
+				AttackProb: defense.SharedAttackProb(truth, pa),
+				Costs:      costs, Budget: budgets,
+			})
+			if err != nil {
+				return nil, err
+			}
+			defended = cinv.Defended
+		} else {
+			invs, err := defense.PlanAllIndependent(truth, s.Ownership, pa,
+				costs, cfg.DefenseBudgetPerActor)
+			if err != nil {
+				return nil, err
+			}
+			defended = defense.Union(invs)
+		}
+
+		// --- Adversary reconnoiters and attacks.
+		view := truth
+		if cfg.AttackerSigma > 0 {
+			v := *truth
+			v.IM = noise.PerturbMatrix(truth.IM,
+				cfg.AttackerSigma, rng.Derive(cfg.Seed^0x9E9, uint64(round)))
+			view = &v
+		}
+		atkTargets := targets
+		if cfg.AdaptiveAttacker && prevDefended != nil {
+			atkTargets = make([]adversary.Target, 0, len(targets))
+			for _, t := range targets {
+				tt := t
+				if prevDefended[t.ID] {
+					tt.SuccessProb = 0 // known-hardened: not worth hitting
+				}
+				atkTargets = append(atkTargets, tt)
+			}
+		}
+		plan, err := adversary.Solve(adversary.Config{
+			Matrix: view, Targets: atkTargets, Budget: cfg.AttackBudget,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// --- Settle.
+		undef := adversary.Evaluate(plan, truth, targets, adversary.EvaluateOptions{})
+		got := adversary.Evaluate(plan, truth, targets,
+			adversary.EvaluateOptions{Defended: defended})
+		r := Round{
+			Attacked:        plan.Targets,
+			Defended:        defended,
+			AdversaryProfit: got,
+			Averted:         undef - got,
+		}
+		res.Rounds = append(res.Rounds, r)
+		res.TotalAdversaryProfit += got
+		res.TotalAverted += r.Averted
+
+		// --- Defenders learn.
+		attackedSet := map[string]bool{}
+		for _, t := range plan.Targets {
+			attackedSet[t] = true
+		}
+		for _, t := range truth.Targets {
+			obs := 0.0
+			if attackedSet[t] {
+				obs = 1
+			}
+			pa[t] = (1-alpha)*pa[t] + alpha*obs
+		}
+		prevDefended = defended
+	}
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package repeated
+
+import (
+	"errors"
+	"testing"
+
+	"cpsguard/internal/core"
+	"cpsguard/internal/graph"
+)
+
+// arena: two rival chains plus a shared distribution spur — enough
+// structure for attacks to be worth both mounting and defending.
+func arena() *core.Scenario {
+	g := graph.New("arena")
+	g.MustAddVertex(graph.Vertex{ID: "g1", Supply: 100, SupplyCost: 2})
+	g.MustAddVertex(graph.Vertex{ID: "g2", Supply: 100, SupplyCost: 4})
+	g.MustAddVertex(graph.Vertex{ID: "city", Demand: 140, Price: 12})
+	g.MustAddEdge(graph.Edge{ID: "c1", From: "g1", To: "city", Capacity: 90})
+	g.MustAddEdge(graph.Edge{ID: "c2", From: "g2", To: "city", Capacity: 90})
+	return core.NewScenario(g, 2, 5)
+}
+
+func TestPlayBasics(t *testing.T) {
+	s := arena()
+	res, err := Play(s, Config{
+		Rounds:                5,
+		AttackBudget:          1,
+		DefenseBudgetPerActor: 2,
+		Seed:                  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 5 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	sumProfit, sumAverted := 0.0, 0.0
+	for _, r := range res.Rounds {
+		sumProfit += r.AdversaryProfit
+		sumAverted += r.Averted
+		if r.Averted < -1e-9 {
+			t.Fatalf("negative averted damage: %+v", r)
+		}
+	}
+	if sumProfit != res.TotalAdversaryProfit || sumAverted != res.TotalAverted {
+		t.Fatal("totals inconsistent with rounds")
+	}
+}
+
+func TestLearningDefenseImproves(t *testing.T) {
+	// Round 1 the defenders know nothing (Pa=0 → no defense); once the
+	// attacker reveals its target, the defenders cover it and the
+	// attacker's profit drops (it is not adaptive here).
+	s := arena()
+	res, err := Play(s, Config{
+		Rounds:                4,
+		AttackBudget:          1,
+		DefenseBudgetPerActor: 3,
+		Smoothing:             1.0, // immediately believe history
+		Seed:                  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds[0].Defended) != 0 {
+		t.Fatalf("round 0 should be undefended (no history): %v", res.Rounds[0].Defended)
+	}
+	first := res.Rounds[0].AdversaryProfit
+	later := res.Rounds[len(res.Rounds)-1].AdversaryProfit
+	if first <= 0 {
+		t.Fatalf("attacker should profit initially: %v", first)
+	}
+	if later >= first {
+		t.Fatalf("learning defense failed to cut profit: first %v, later %v", first, later)
+	}
+}
+
+func TestAdaptiveAttackerEvades(t *testing.T) {
+	// With an adaptive attacker, total adversary profit should be at
+	// least the non-adaptive attacker's (it only gains information).
+	s := arena()
+	base, err := Play(s, Config{
+		Rounds: 6, AttackBudget: 1, DefenseBudgetPerActor: 3,
+		Smoothing: 1.0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := arena()
+	adaptive, err := Play(s2, Config{
+		Rounds: 6, AttackBudget: 1, DefenseBudgetPerActor: 3,
+		Smoothing: 1.0, AdaptiveAttacker: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.TotalAdversaryProfit < base.TotalAdversaryProfit-1e-9 {
+		t.Fatalf("adaptive attacker did worse: %v vs %v",
+			adaptive.TotalAdversaryProfit, base.TotalAdversaryProfit)
+	}
+}
+
+func TestCollaborativeRepeated(t *testing.T) {
+	s := arena()
+	res, err := Play(s, Config{
+		Rounds: 3, AttackBudget: 1, DefenseBudgetPerActor: 1,
+		Collaborative: true, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAverted < 0 {
+		t.Fatalf("collaborative averted = %v", res.TotalAverted)
+	}
+}
+
+func TestNoisyAttackerRepeated(t *testing.T) {
+	s := arena()
+	res, err := Play(s, Config{
+		Rounds: 4, AttackBudget: 1, DefenseBudgetPerActor: 2,
+		AttackerSigma: 0.5, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 4 {
+		t.Fatal("noisy repeated game truncated")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Rounds: 5, AttackBudget: 1, DefenseBudgetPerActor: 2,
+		AttackerSigma: 0.3, AdaptiveAttacker: true, Seed: 9}
+	a, err := Play(arena(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Play(arena(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalAdversaryProfit != b.TotalAdversaryProfit || a.TotalAverted != b.TotalAverted {
+		t.Fatal("repeated game nondeterministic")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Play(nil, Config{Rounds: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil scenario: %v", err)
+	}
+	if _, err := Play(arena(), Config{Rounds: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("0 rounds: %v", err)
+	}
+}

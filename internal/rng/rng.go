@@ -1,0 +1,102 @@
+// Package rng provides deterministic, splittable random streams for
+// reproducible parallel Monte-Carlo experiments.
+//
+// Every experiment in this repository derives all of its randomness from a
+// single uint64 seed. Trials run concurrently, so handing each trial its own
+// independent stream — derived deterministically from (seed, trial index) —
+// makes results bit-identical regardless of scheduling or GOMAXPROCS.
+//
+// The generator is SplitMix64 (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014), which passes BigCrush and
+// whose trivially computed disjoint streams make it the standard choice for
+// seeding parallel simulations.
+package rng
+
+import "math"
+
+// Stream is a deterministic SplitMix64 pseudorandom stream. The zero value
+// is a valid stream seeded with 0; prefer New or Derive.
+type Stream struct {
+	state     uint64
+	spare     float64
+	haveSpare bool
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Stream { return &Stream{state: seed} }
+
+// Derive returns an independent child stream for the given index. The child
+// is decorrelated from the parent and from siblings by hashing (seed, index)
+// through one SplitMix64 round each.
+func Derive(seed uint64, index uint64) *Stream {
+	s := New(seed)
+	base := s.Uint64()
+	child := New(base ^ (index+1)*0x9E3779B97F4A7C15)
+	// Burn one output so adjacent indices diverge immediately.
+	child.Uint64()
+	return child
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n ≤ 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Rejection sampling to remove modulo bias.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; the second
+// variate of each pair is cached).
+func (s *Stream) NormFloat64() float64 {
+	if s.haveSpare {
+		s.haveSpare = false
+		return s.spare
+	}
+	for {
+		u := s.Float64()
+		if u == 0 {
+			continue
+		}
+		v := s.Float64()
+		r := math.Sqrt(-2 * math.Log(u))
+		theta := 2 * math.Pi * v
+		s.spare = r * math.Sin(theta)
+		s.haveSpare = true
+		return r * math.Cos(theta)
+	}
+}
+
+// Perm returns a random permutation of [0,n) (Fisher–Yates).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,155 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	s1 := Derive(7, 0)
+	s2 := Derive(7, 1)
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("%d collisions between derived streams", collisions)
+	}
+	// Re-derivation reproduces the stream.
+	a, b := Derive(7, 5), Derive(7, 5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("re-derived stream diverged")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(2)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(3)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Intn(10)]++
+	}
+	for d, c := range counts {
+		if math.Abs(float64(c)-n/10) > 0.05*n/10 {
+			t.Fatalf("digit %d: count %d, want ≈%d", d, c, n/10)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(4)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		n := 1 + s.Intn(50)
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	// With n=6 the identity permutation has probability 1/720; over 100
+	// draws seeing identity more than a handful of times indicates a bug.
+	s := New(5)
+	identity := 0
+	for trial := 0; trial < 100; trial++ {
+		p := s.Perm(6)
+		id := true
+		for i, v := range p {
+			if v != i {
+				id = false
+				break
+			}
+		}
+		if id {
+			identity++
+		}
+	}
+	if identity > 3 {
+		t.Fatalf("identity permutation appeared %d/100 times", identity)
+	}
+}

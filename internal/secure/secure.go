@@ -1,0 +1,247 @@
+// Package secure implements a simplified security-constrained dispatch —
+// the SCUC-style planning the paper positions itself against (Section
+// IV-A, citing [5–9]): instead of optimizing pure market welfare, the
+// operator requires that for every listed contingency (single-asset
+// outage) the system could still serve a required fraction of the
+// dispatched load without re-dispatching generation.
+//
+// The formulation is the classic *preventive* model: one base case plus
+// one network copy per contingency; generator injections are shared across
+// all cases (units cannot instantly re-dispatch when a line trips), flows
+// re-route freely, and per-vertex service in every contingency case must
+// reach at least MinService × the base-case service. The objective is
+// base-case social welfare, so the welfare gap to the unconstrained
+// dispatch is the system's *security premium* — the price of N-1
+// robustness the paper's market-focused model deliberately omits.
+//
+// The package exists as a substrate contrast: experiments can compare how
+// attack impacts (package impact) shrink when the dispatch is
+// security-constrained, quantifying how much of the strategic adversary's
+// profit depends on the operator running a welfare-maximal but fragile
+// schedule.
+package secure
+
+import (
+	"errors"
+	"fmt"
+
+	"cpsguard/internal/flow"
+	"cpsguard/internal/graph"
+	"cpsguard/internal/lp"
+)
+
+// Config states a security-constrained dispatch.
+type Config struct {
+	// Graph is the system.
+	Graph *graph.Graph
+	// Contingencies lists edge IDs whose single outage the dispatch must
+	// survive.
+	Contingencies []string
+	// MinService is the per-vertex fraction of base-case load that must
+	// remain servable in every contingency (default 1 = no shedding).
+	MinService float64
+	// LP forwards solver options.
+	LP lp.Options
+}
+
+func (c Config) minService() float64 {
+	if c.MinService > 0 {
+		return c.MinService
+	}
+	return 1
+}
+
+// ContingencyPlan is the post-outage routing for one contingency.
+type ContingencyPlan struct {
+	Flow map[string]float64
+	Load map[string]float64
+	// Welfare is the system welfare while operating this plan (with the
+	// base case's generation, which preventive dispatch cannot change).
+	Welfare float64
+}
+
+// Result is a solved security-constrained dispatch.
+type Result struct {
+	// Welfare is the base-case social welfare under the security
+	// constraints.
+	Welfare float64
+	// Flow, Gen, Load describe the base case.
+	Flow map[string]float64
+	Gen  map[string]float64
+	Load map[string]float64
+	// SecurityPremium is unconstrained welfare − Welfare (≥ 0).
+	SecurityPremium float64
+	// Contingency maps each protected edge to its recovery plan.
+	Contingency map[string]*ContingencyPlan
+	// Iterations counts simplex pivots.
+	Iterations int
+}
+
+// ErrInsecure is returned when no dispatch can satisfy the contingency
+// service requirements.
+var ErrInsecure = errors.New("secure: no feasible security-constrained dispatch")
+
+// Dispatch solves the preventive security-constrained welfare optimum.
+func Dispatch(cfg Config) (*Result, error) {
+	g := cfg.Graph
+	if g == nil {
+		return nil, errors.New("secure: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	for _, id := range cfg.Contingencies {
+		if g.Edge(id) == nil {
+			return nil, fmt.Errorf("secure: unknown contingency edge %q", id)
+		}
+	}
+	base, err := flow.DispatchOpts(g, flow.Options{LP: cfg.LP})
+	if err != nil {
+		return nil, err
+	}
+
+	nE, nV := len(g.Edges), len(g.Vertices)
+	nK := len(cfg.Contingencies)
+	p := lp.NewProblem()
+
+	// Case 0 = base; cases 1..nK = contingencies. Gen variables are
+	// shared (preventive dispatch); flows and loads are per-case.
+	gVar := make([]int, nV)
+	fVar := make([][]int, nK+1)
+	xVar := make([][]int, nK+1)
+	for i, v := range g.Vertices {
+		if v.Supply > 0 {
+			gVar[i] = p.AddVariable("g:"+v.ID, v.SupplyCost, v.Supply)
+		} else {
+			gVar[i] = -1
+		}
+	}
+	for k := 0; k <= nK; k++ {
+		fVar[k] = make([]int, nE)
+		xVar[k] = make([]int, nV)
+		outaged := ""
+		if k > 0 {
+			outaged = cfg.Contingencies[k-1]
+		}
+		for j, e := range g.Edges {
+			cap := e.Capacity
+			if e.ID == outaged {
+				cap = 0
+			}
+			cost := 0.0
+			if k == 0 {
+				cost = e.Cost // only the base case enters the objective
+			}
+			fVar[k][j] = p.AddVariable(fmt.Sprintf("f%d:%s", k, e.ID), cost, cap)
+		}
+		for i, v := range g.Vertices {
+			if v.Demand > 0 {
+				cost := 0.0
+				if k == 0 {
+					cost = -v.Price
+				}
+				xVar[k][i] = p.AddVariable(fmt.Sprintf("x%d:%s", k, v.ID), cost, v.Demand)
+			} else {
+				xVar[k][i] = -1
+			}
+		}
+		// Conservation in case k. Generation is the shared gVar.
+		for i, v := range g.Vertices {
+			var coefs []lp.Coef
+			for j, e := range g.Edges {
+				if e.To == v.ID {
+					coefs = append(coefs, lp.Coef{Var: fVar[k][j], Value: 1})
+				}
+				if e.From == v.ID {
+					coefs = append(coefs, lp.Coef{Var: fVar[k][j], Value: -1 / (1 - e.Loss)})
+				}
+			}
+			if gVar[i] >= 0 {
+				coefs = append(coefs, lp.Coef{Var: gVar[i], Value: 1})
+			}
+			if xVar[k][i] >= 0 {
+				coefs = append(coefs, lp.Coef{Var: xVar[k][i], Value: -1})
+			}
+			if len(coefs) == 0 {
+				continue
+			}
+			p.AddConstraint(lp.Constraint{
+				Coefs: coefs, Sense: lp.EQ, RHS: 0,
+				Name: fmt.Sprintf("cons%d:%s", k, v.ID),
+			})
+		}
+	}
+	// Service coupling: x_k(v) ≥ MinService · x_0(v).
+	gamma := cfg.minService()
+	for k := 1; k <= nK; k++ {
+		for i, v := range g.Vertices {
+			if v.Demand <= 0 {
+				continue
+			}
+			p.AddConstraint(lp.Constraint{
+				Coefs: []lp.Coef{
+					{Var: xVar[k][i], Value: 1},
+					{Var: xVar[0][i], Value: -gamma},
+				},
+				Sense: lp.GE, RHS: 0,
+				Name: fmt.Sprintf("svc%d:%s", k, v.ID),
+			})
+		}
+	}
+
+	sol, err := p.SolveOpts(cfg.LP)
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, ErrInsecure
+	default:
+		return nil, fmt.Errorf("secure: LP status %v", sol.Status)
+	}
+
+	res := &Result{
+		Flow:        make(map[string]float64, nE),
+		Gen:         map[string]float64{},
+		Load:        map[string]float64{},
+		Contingency: map[string]*ContingencyPlan{},
+		Iterations:  sol.Iterations,
+	}
+	for j, e := range g.Edges {
+		res.Flow[e.ID] = sol.X[fVar[0][j]]
+		res.Welfare -= e.Cost * res.Flow[e.ID]
+	}
+	for i, v := range g.Vertices {
+		if gVar[i] >= 0 {
+			res.Gen[v.ID] = sol.X[gVar[i]]
+			res.Welfare -= v.SupplyCost * res.Gen[v.ID]
+		}
+		if xVar[0][i] >= 0 {
+			res.Load[v.ID] = sol.X[xVar[0][i]]
+			res.Welfare += v.Price * res.Load[v.ID]
+		}
+	}
+	for k := 1; k <= nK; k++ {
+		plan := &ContingencyPlan{Flow: map[string]float64{}, Load: map[string]float64{}}
+		for j, e := range g.Edges {
+			plan.Flow[e.ID] = sol.X[fVar[k][j]]
+			plan.Welfare -= e.Cost * plan.Flow[e.ID]
+		}
+		for i, v := range g.Vertices {
+			if xVar[k][i] >= 0 {
+				plan.Load[v.ID] = sol.X[xVar[k][i]]
+				plan.Welfare += v.Price * plan.Load[v.ID]
+			}
+			if gVar[i] >= 0 {
+				plan.Welfare -= v.SupplyCost * sol.X[gVar[i]]
+			}
+		}
+		res.Contingency[cfg.Contingencies[k-1]] = plan
+	}
+	res.SecurityPremium = base.Welfare - res.Welfare
+	if res.SecurityPremium < 0 && res.SecurityPremium > -1e-6 {
+		res.SecurityPremium = 0
+	}
+	return res, nil
+}

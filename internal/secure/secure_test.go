@@ -1,0 +1,163 @@
+package secure
+
+import (
+	"math"
+	"testing"
+
+	"cpsguard/internal/flow"
+	"cpsguard/internal/graph"
+	"cpsguard/internal/westgrid"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// twoPath: a city fed by a cheap line and an expensive detour.
+func twoPath() *graph.Graph {
+	g := graph.New("twopath")
+	g.MustAddVertex(graph.Vertex{ID: "gen", Supply: 200, SupplyCost: 2})
+	g.MustAddVertex(graph.Vertex{ID: "mid"})
+	g.MustAddVertex(graph.Vertex{ID: "city", Demand: 100, Price: 20})
+	g.MustAddEdge(graph.Edge{ID: "direct", From: "gen", To: "city", Capacity: 120, Cost: 0.5})
+	g.MustAddEdge(graph.Edge{ID: "via1", From: "gen", To: "mid", Capacity: 120, Cost: 2})
+	g.MustAddEdge(graph.Edge{ID: "via2", From: "mid", To: "city", Capacity: 120, Cost: 2})
+	return g
+}
+
+func TestSecureDispatchSurvivesContingency(t *testing.T) {
+	g := twoPath()
+	res, err := Dispatch(Config{Graph: g, Contingencies: []string{"direct"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base case still serves everything (the detour covers the outage).
+	if !approx(res.Load["city"], 100, 1e-6) {
+		t.Fatalf("base load = %v, want 100", res.Load["city"])
+	}
+	plan := res.Contingency["direct"]
+	if plan == nil {
+		t.Fatal("missing contingency plan")
+	}
+	if plan.Flow["direct"] != 0 {
+		t.Fatalf("outaged line still flows in contingency: %v", plan.Flow["direct"])
+	}
+	if plan.Load["city"] < 100-1e-6 {
+		t.Fatalf("contingency sheds load: %v", plan.Load["city"])
+	}
+	// Detour carries the contingency flow.
+	if plan.Flow["via2"] < 100-1e-6 {
+		t.Fatalf("detour unused in contingency: %v", plan.Flow["via2"])
+	}
+}
+
+func TestSecurityPremiumNonNegative(t *testing.T) {
+	g := twoPath()
+	res, err := Dispatch(Config{Graph: g, Contingencies: []string{"direct"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SecurityPremium < 0 {
+		t.Fatalf("premium = %v", res.SecurityPremium)
+	}
+	plain, err := flow.Dispatch(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(plain.Welfare-res.Welfare, res.SecurityPremium, 1e-6*(1+plain.Welfare)) {
+		t.Fatalf("premium inconsistent: %v vs %v", plain.Welfare-res.Welfare, res.SecurityPremium)
+	}
+	// Here the preventive constraint costs nothing in the base case
+	// (generation is shared and ample) — premium should be ~0 since the
+	// base dispatch is unchanged; the detour only runs post-contingency.
+	if res.SecurityPremium > 1e-6 {
+		t.Logf("note: premium = %v (> 0 is acceptable but unexpected here)", res.SecurityPremium)
+	}
+}
+
+func TestRadialSystemShedsToZero(t *testing.T) {
+	// A single radial line has no reroute: the preventive model is still
+	// feasible, but only by serving nothing in the base case (x_k ≥ γ·x_0
+	// is vacuous at x_0 = 0) — the security constraint wipes out all
+	// welfare, which is the economically honest answer.
+	g := graph.New("radial")
+	g.MustAddVertex(graph.Vertex{ID: "gen", Supply: 100, SupplyCost: 1})
+	g.MustAddVertex(graph.Vertex{ID: "city", Demand: 50, Price: 10})
+	g.MustAddEdge(graph.Edge{ID: "only", From: "gen", To: "city", Capacity: 60})
+	for _, gamma := range []float64{1, 0.5} {
+		res, err := Dispatch(Config{Graph: g, Contingencies: []string{"only"}, MinService: gamma})
+		if err != nil {
+			t.Fatalf("γ=%v: %v", gamma, err)
+		}
+		if res.Load["city"] > 1e-6 {
+			t.Fatalf("γ=%v: radial system cannot be N-1 secure, load=%v", gamma, res.Load["city"])
+		}
+		if !approx(res.Welfare, 0, 1e-9) {
+			t.Fatalf("γ=%v: welfare = %v, want 0", gamma, res.Welfare)
+		}
+	}
+}
+
+func TestSecurityPremiumWhenCapacityScarce(t *testing.T) {
+	// Make the detour capacity-limited so N-1 security forces the base
+	// case to serve less than the welfare optimum.
+	g := twoPath()
+	g.Edge("via1").Capacity = 40
+	g.Edge("via2").Capacity = 40
+	res, err := Dispatch(Config{Graph: g, Contingencies: []string{"direct"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-outage only ~40 units can reach the city, so base service is
+	// capped at 40 too (γ=1).
+	if res.Load["city"] > 40+1e-6 {
+		t.Fatalf("base load %v exceeds securable 40", res.Load["city"])
+	}
+	if res.SecurityPremium <= 0 {
+		t.Fatalf("scarce detour must cost welfare: premium=%v", res.SecurityPremium)
+	}
+}
+
+func TestWestgridSecureDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-model test")
+	}
+	g := westgrid.Build(westgrid.Options{}) // unstressed: slack available
+	res, err := Dispatch(Config{
+		Graph:         g,
+		Contingencies: []string{"tx:OR-CA", "pipe:NV-CA"},
+		MinService:    0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Welfare <= 0 {
+		t.Fatalf("secure welfare = %v", res.Welfare)
+	}
+	if res.SecurityPremium < -1e-6 {
+		t.Fatalf("negative premium: %v", res.SecurityPremium)
+	}
+	for _, c := range []string{"tx:OR-CA", "pipe:NV-CA"} {
+		plan := res.Contingency[c]
+		if plan == nil || plan.Flow[c] != 0 {
+			t.Fatalf("contingency %s not honored", c)
+		}
+		for v, base := range res.Load {
+			if plan.Load[v] < 0.9*base-1e-6 {
+				t.Fatalf("contingency %s sheds %s below 90%%: %v < %v", c, v, plan.Load[v], 0.9*base)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Dispatch(Config{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := twoPath()
+	if _, err := Dispatch(Config{Graph: g, Contingencies: []string{"ghost"}}); err == nil {
+		t.Fatal("unknown contingency accepted")
+	}
+	g.Edges[0].Loss = 1.5
+	if _, err := Dispatch(Config{Graph: g}); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the table as a fixed-size ASCII line chart, one mark
+// character per series — a terminal-friendly rendition of the paper's
+// figures. Width and height are in character cells (defaults 60×16 when
+// non-positive). Series are assigned marks '*', 'o', '+', 'x', '#', '@' in
+// order.
+func (t *Table) Chart(width, height int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Bounds across all points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	nPoints := 0
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			nPoints++
+		}
+	}
+	if nPoints == 0 {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		return clampInt(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int((maxY - y) / (maxY - minY) * float64(height-1))
+		return clampInt(r, 0, height-1)
+	}
+	for si, s := range t.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			grid[row(p.Y)][col(p.X)] = mark
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	yLo, yHi := trimFloat(minY), trimFloat(maxY)
+	labelW := len(yLo)
+	if len(yHi) > labelW {
+		labelW = len(yHi)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = pad(yHi, labelW)
+		} else if r == height-1 {
+			label = pad(yLo, labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW),
+		trimFloat(minX),
+		strings.Repeat(" ", maxInt(1, width-len(trimFloat(minX))-len(trimFloat(maxX)))),
+		trimFloat(maxX))
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartTable() *Table {
+	t := &Table{Title: "demo"}
+	s1 := t.AddSeries("up")
+	s2 := t.AddSeries("down")
+	for i := 0; i < 5; i++ {
+		s1.Add(float64(i), float64(i), 0)
+		s2.Add(float64(i), float64(4-i), 0)
+	}
+	return t
+}
+
+func TestChartBasics(t *testing.T) {
+	out := chartTable().Chart(40, 10)
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("marks missing")
+	}
+	// Axis labels: min and max Y.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "4") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 10 rows + axis + xlabels + 2 legend + trailing.
+	if len(lines) < 14 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartMonotoneSeriesOrientation(t *testing.T) {
+	// The increasing series must place its max at the top-right: find
+	// the row containing '*' in the rightmost columns and verify it is
+	// above the row containing '*' in the leftmost columns.
+	out := chartTable().Chart(40, 10)
+	lines := strings.Split(out, "\n")[1:11] // grid rows
+	topRight, bottomLeft := -1, -1
+	for r, line := range lines {
+		bar := strings.IndexByte(line, '|')
+		if bar < 0 {
+			continue
+		}
+		row := line[bar+1:]
+		if idx := strings.LastIndexByte(row, '*'); idx > len(row)/2 && topRight < 0 {
+			topRight = r
+		}
+		if idx := strings.IndexByte(row, '*'); idx >= 0 && idx < len(row)/2 {
+			bottomLeft = r
+		}
+	}
+	if topRight < 0 || bottomLeft < 0 || topRight >= bottomLeft {
+		t.Fatalf("increasing series not oriented up-right (top %d bottom %d):\n%s",
+			topRight, bottomLeft, out)
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	empty := &Table{}
+	if out := empty.Chart(0, 0); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+	flat := &Table{}
+	s := flat.AddSeries("const")
+	s.Add(1, 5, 0)
+	out := flat.Chart(20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single-point chart missing mark:\n%s", out)
+	}
+}
+
+func TestChartDefaultSize(t *testing.T) {
+	out := chartTable().Chart(0, 0)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 18 { // 16 rows + furniture
+		t.Fatalf("default chart too short: %d", len(lines))
+	}
+}

@@ -1,0 +1,279 @@
+// Package stats provides the small statistical and tabulation toolkit used
+// by the experiment harness: streaming mean/variance accumulators, labelled
+// series, and rendering to aligned text tables and CSV.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accumulator computes streaming count/mean/variance (Welford's algorithm).
+// The zero value is an empty accumulator.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N reports the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the sample mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance reports the unbiased sample variance (0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr reports the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Merge folds another accumulator in (parallel reduction; Chan et al.).
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	a.n = n
+}
+
+// Point is one (x, mean, stderr) sample of a Series.
+type Point struct {
+	X      float64
+	Y      float64
+	StdErr float64
+}
+
+// Series is a named sequence of points, e.g. one line of a paper figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y, stderr float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, StdErr: stderr})
+}
+
+// Ys returns the Y values in order.
+func (s *Series) Ys() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Y
+	}
+	return out
+}
+
+// Table is a figure-shaped result: several series over a shared X axis.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// AddSeries appends and returns a new named series.
+func (t *Table) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// FindSeries returns the series with the given name, or nil.
+func (t *Table) FindSeries(name string) *Series {
+	for _, s := range t.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// xs returns the sorted union of X values across all series.
+func (t *Table) xs() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Render produces an aligned, human-readable text table. Every series
+// becomes a "mean±stderr" column over the shared X axis.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	xs := t.xs()
+	header := []string{t.xlabel()}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range t.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					if p.StdErr > 0 {
+						cell = fmt.Sprintf("%.4g ±%.2g", p.Y, p.StdErr)
+					} else {
+						cell = fmt.Sprintf("%.4g", p.Y)
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			b.WriteString(strings.Repeat("-", sum(widths)+2*len(widths)))
+			b.WriteByte('\n')
+		}
+	}
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, "(y: %s)\n", t.YLabel)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV with mean and stderr columns
+// per series.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.xlabel()))
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, ",%s,%s", csvEscape(s.Name), csvEscape(s.Name+"_stderr"))
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xs() {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range t.Series {
+			found := false
+			for _, p := range s.Points {
+				if p.X == x {
+					fmt.Fprintf(&b, ",%g,%g", p.Y, p.StdErr)
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.WriteString(",,")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (t *Table) xlabel() string {
+	if t.XLabel != "" {
+		return t.XLabel
+	}
+	return "x"
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func trimFloat(x float64) string {
+	return fmt.Sprintf("%.5g", x)
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// MonotoneDecreasing reports whether ys is non-increasing within slack
+// (absolute tolerance). Experiment shape-tests use it.
+func MonotoneDecreasing(ys []float64, slack float64) bool {
+	for i := 1; i < len(ys); i++ {
+		if ys[i] > ys[i-1]+slack {
+			return false
+		}
+	}
+	return true
+}
+
+// MonotoneIncreasing reports whether ys is non-decreasing within slack.
+func MonotoneIncreasing(ys []float64, slack float64) bool {
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1]-slack {
+			return false
+		}
+	}
+	return true
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", a.Mean())
+	}
+	// Sample variance of that classic dataset is 32/7.
+	if math.Abs(a.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", a.Variance(), 32.0/7)
+	}
+	if math.Abs(a.StdErr()-a.StdDev()/math.Sqrt(8)) > 1e-12 {
+		t.Fatal("stderr inconsistent with stddev")
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator must be all zeros")
+	}
+	a.Add(3)
+	if a.Mean() != 3 || a.Variance() != 0 {
+		t.Fatal("single observation: mean 3, variance 0")
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(split) % len(xs)
+		var whole, left, right Accumulator
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:k] {
+			left.Add(x)
+		}
+		for _, x := range xs[k:] {
+			right.Add(x)
+		}
+		left.Merge(right)
+		return left.N() == whole.N() &&
+			math.Abs(left.Mean()-whole.Mean()) < 1e-9*(1+math.Abs(whole.Mean())) &&
+			math.Abs(left.Variance()-whole.Variance()) < 1e-6*(1+whole.Variance())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b Accumulator
+	a.Merge(b)
+	if a.N() != 0 {
+		t.Fatal("merging empties should stay empty")
+	}
+	b.Add(5)
+	a.Merge(b)
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatal("merge into empty lost data")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{Title: "Fig X", XLabel: "noise", YLabel: "profit"}
+	s1 := tb.AddSeries("2 actors")
+	s1.Add(0, 10, 0.5)
+	s1.Add(0.1, 8, 0.4)
+	s2 := tb.AddSeries("4 actors")
+	s2.Add(0, 14, 0)
+	s2.Add(0.1, 11, 0.6)
+
+	out := tb.Render()
+	for _, want := range []string{"Fig X", "noise", "2 actors", "4 actors", "10 ±0.5", "14", "(y: profit)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), csv)
+	}
+	if lines[0] != "noise,2 actors,2 actors_stderr,4 actors,4 actors_stderr" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,10,0.5,14,0") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestTableMissingCells(t *testing.T) {
+	tb := &Table{}
+	s1 := tb.AddSeries("a")
+	s1.Add(1, 5, 0)
+	s2 := tb.AddSeries("b")
+	s2.Add(2, 7, 0)
+	csv := tb.CSV()
+	if !strings.Contains(csv, "1,5,0,,") {
+		t.Fatalf("missing-cell CSV wrong:\n%s", csv)
+	}
+	if tb.FindSeries("a") != s1 || tb.FindSeries("zzz") != nil {
+		t.Fatal("FindSeries wrong")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{XLabel: `x,with"comma`}
+	tb.AddSeries("s").Add(1, 2, 0)
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, `"x,with""comma"`) {
+		t.Fatalf("escaping failed: %q", csv)
+	}
+}
+
+func TestMonotoneHelpers(t *testing.T) {
+	if !MonotoneDecreasing([]float64{5, 4, 4.05, 3}, 0.1) {
+		t.Fatal("slack not honored")
+	}
+	if MonotoneDecreasing([]float64{5, 6}, 0.1) {
+		t.Fatal("increase not caught")
+	}
+	if !MonotoneIncreasing([]float64{1, 2, 1.95, 3}, 0.1) {
+		t.Fatal("slack not honored (inc)")
+	}
+	if MonotoneIncreasing([]float64{3, 1}, 0.1) {
+		t.Fatal("decrease not caught")
+	}
+	if !MonotoneDecreasing(nil, 0) || !MonotoneIncreasing(nil, 0) {
+		t.Fatal("empty series are trivially monotone")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestSeriesYs(t *testing.T) {
+	s := &Series{}
+	s.Add(0, 1, 0)
+	s.Add(1, 2, 0)
+	ys := s.Ys()
+	if len(ys) != 2 || ys[0] != 1 || ys[1] != 2 {
+		t.Fatalf("Ys = %v", ys)
+	}
+}
