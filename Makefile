@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci vet build test race fuzz-smoke clean
+
+ci: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke: exercise each fuzz target briefly so regressions in the
+# hostile-input paths surface in CI without a long fuzzing budget.
+fuzz-smoke:
+	$(GO) test ./internal/lp/ -run=^$$ -fuzz=FuzzSolveAgreement -fuzztime=5s
+	$(GO) test ./internal/lp/ -run=^$$ -fuzz=FuzzHostileInputs -fuzztime=5s
+	$(GO) test ./internal/graph/ -run=^$$ -fuzz=FuzzUnmarshalValidate -fuzztime=5s
+
+clean:
+	$(GO) clean ./...

@@ -17,6 +17,7 @@ import (
 	"cpsguard/internal/adversary"
 	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
+	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
 )
 
@@ -31,13 +32,18 @@ func main() {
 	catk := flag.Float64("catk", 1, "uniform attack cost per target")
 	ps := flag.Float64("ps", 1, "uniform attack success probability")
 	mode := flag.String("mode", "graph", "noise mode: graph (faithful) or matrix (fast)")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
 
 	g, err := cli.LoadModel(*model, true)
 	if err != nil {
 		log.Fatal(err)
 	}
 	s := core.NewScenario(g, *nActors, *seed)
+	s.Parallel = parallel.Options{Context: ctx}
 	s.Targets = adversary.UniformTargets(g.AssetIDs(), *catk, *ps)
 
 	nm, err := cli.ParseNoiseMode(*mode)
@@ -47,16 +53,20 @@ func main() {
 
 	truth, err := s.Truth()
 	if err != nil {
+		cli.ExitCanceled(ctx, err, "interrupted while computing the ground-truth impact matrix")
 		log.Fatal(err)
 	}
 	view, err := s.View(*sigma, nm, rng.Derive(*seed, 1))
 	if err != nil {
+		cli.ExitCanceled(ctx, err, "ground-truth matrix done; interrupted while computing the adversary view")
 		log.Fatal(err)
 	}
-	plan, err := adversary.Solve(adversary.Config{
+	plan, err := adversary.SolveResilient(adversary.Config{
 		Matrix: view, Targets: s.Targets, Budget: *budget,
+		Ctx: ctx,
 	})
 	if err != nil {
+		cli.ExitCanceled(ctx, err, "impact matrices done; interrupted during the target-selection search")
 		log.Fatal(err)
 	}
 	realized := adversary.Evaluate(plan, truth, s.Targets, adversary.EvaluateOptions{})
@@ -77,5 +87,8 @@ func main() {
 	}
 	if !plan.Proven {
 		fmt.Println("(search node limit hit; plan is best-found, not proven optimal)")
+	}
+	for _, fb := range plan.Fallbacks {
+		fmt.Printf("(degraded: %s)\n", fb)
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
+	"cpsguard/internal/parallel"
 )
 
 func main() {
@@ -34,13 +35,18 @@ func main() {
 	collab := flag.Bool("collab", false, "collaborative (cost-shared) defense")
 	samples := flag.Int("pa-samples", 16, "speculated-SA samples for Pa estimation")
 	mode := flag.String("mode", "graph", "noise mode: graph or matrix")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
 
 	g, err := cli.LoadModel(*model, true)
 	if err != nil {
 		log.Fatal(err)
 	}
 	s := core.NewScenario(g, *nActors, *seed)
+	s.Parallel = parallel.Options{Context: ctx}
 	nm, err := cli.ParseNoiseMode(*mode)
 	if err != nil {
 		log.Fatal(err)
@@ -56,8 +62,10 @@ func main() {
 		PaSamples:             *samples,
 		NoiseMode:             nm,
 		Seed:                  *seed,
+		Ctx:                   ctx,
 	})
 	if err != nil {
+		cli.ExitCanceled(ctx, err, "round interrupted before settlement; no results to report")
 		log.Fatal(err)
 	}
 

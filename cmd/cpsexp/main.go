@@ -19,8 +19,10 @@ import (
 	"path/filepath"
 	"time"
 
+	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
 	"cpsguard/internal/experiments"
+	"cpsguard/internal/parallel"
 	"cpsguard/internal/stats"
 )
 
@@ -34,11 +36,19 @@ func main() {
 	csvDir := flag.String("csv", "", "also write fig<N>.csv files into this directory")
 	quick := flag.Bool("quick", false, "small grids for a fast smoke run")
 	chart := flag.Bool("chart", false, "also render each figure as an ASCII chart")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
+	faultRate := flag.Float64("max-fault-rate", 0, "tolerated fraction of failed trials per point (0 = strict)")
 	flag.Parse()
 
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
+
+	faultLog := &experiments.FaultLog{}
 	cfg := experiments.Config{
-		Trials: *trials,
-		Seed:   *seed,
+		Trials:   *trials,
+		Seed:     *seed,
+		Parallel: parallel.Options{Context: ctx},
+		Faults:   experiments.FaultPolicy{MaxFailureRate: *faultRate, Log: faultLog},
 	}
 	if *mode == "matrix" {
 		cfg.NoiseMode = core.MatrixNoise
@@ -71,10 +81,12 @@ func main() {
 		log.Fatalf("unknown figure %q (want 2..7, all, ext, baseline, deception, vectors)", *fig)
 	}
 
-	for _, f := range order {
+	for fi, f := range order {
 		start := time.Now()
 		tb, err := runners[f](cfg)
 		if err != nil {
+			cli.ExitCanceled(ctx, err,
+				fmt.Sprintf("%d/%d figures completed (interrupted in fig %s)", fi, len(order), f))
 			log.Fatalf("fig %s: %v", f, err)
 		}
 		fmt.Printf("%s\n(%.1fs)\n\n", tb.Render(), time.Since(start).Seconds())
@@ -90,6 +102,13 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	if n := len(faultLog.Failures()); n > 0 {
+		fmt.Fprintf(os.Stderr, "tolerated %d/%d failed trials (rate %.3f):\n",
+			n, faultLog.Trials(), faultLog.FailureRate())
+		for _, f := range faultLog.Failures() {
+			fmt.Fprintf(os.Stderr, "  %s\n", f.Error())
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"cpsguard/internal/actors"
 	"cpsguard/internal/cli"
 	"cpsguard/internal/flow"
+	"cpsguard/internal/lp"
 	"cpsguard/internal/rng"
 )
 
@@ -27,14 +28,19 @@ func main() {
 	stress := flag.Bool("stress", true, "stress the built-in model (ignored with -model)")
 	nActors := flag.Int("actors", 0, "divide profits among N random actors (0 = skip)")
 	seed := flag.Uint64("seed", 1, "ownership random seed")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
 
 	g, err := cli.LoadModel(*model, *stress)
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := flow.Dispatch(g)
+	r, err := flow.DispatchOpts(g, flow.Options{LP: lp.Options{Ctx: ctx}})
 	if err != nil {
+		cli.ExitCanceled(ctx, err, "dispatch interrupted; no flows to report")
 		log.Fatal(err)
 	}
 

@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"cpsguard/internal/cli"
 	"cpsguard/internal/graph"
 	"cpsguard/internal/gridgen"
 	"cpsguard/internal/westgrid"
@@ -27,17 +28,25 @@ func main() {
 	regions := flag.Int("regions", 0, "generate a synthetic system with this many regions instead of the six-state model")
 	seed := flag.Uint64("seed", 1, "generator seed (with -regions)")
 	out := flag.String("o", "", "output file (default stdout)")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
 
 	var g *graph.Graph
 	if *regions > 0 {
 		var err error
 		g, err = gridgen.Build(gridgen.Config{Regions: *regions, Seed: *seed, Stress: *stress})
 		if err != nil {
+			cli.ExitCanceled(ctx, err, "generation interrupted; no model written")
 			log.Fatal(err)
 		}
 	} else {
 		g = westgrid.Build(westgrid.Options{Stress: *stress})
+	}
+	if err := ctx.Err(); err != nil {
+		cli.ExitCanceled(ctx, err, "model built but not written")
 	}
 	var data []byte
 	if *dot {

@@ -16,6 +16,7 @@
 package adversary
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -61,6 +62,25 @@ type Config struct {
 	// exhaustion the best incumbent found so far (at least as good as
 	// greedy) is returned with Proven=false.
 	MaxNodes int
+	// Ctx, when non-nil, is checked every CheckEvery search nodes;
+	// cancellation aborts the search and Solve returns the context error
+	// (the incumbent is discarded — cancellation is a caller decision,
+	// not a degradation).
+	Ctx context.Context
+	// CheckEvery is the node interval between Ctx/Hook checks
+	// (default 4096).
+	CheckEvery int
+	// Hook is an optional fault-injection checkpoint invoked at site
+	// "adversary.node" alongside the Ctx check; a returned error aborts
+	// the search, a panic exercises SolveResilient's recovery.
+	Hook func(site string) error
+}
+
+func (c Config) checkEvery() int {
+	if c.CheckEvery > 0 {
+		return c.CheckEvery
+	}
+	return 4096
 }
 
 // Plan is a chosen attack.
@@ -76,6 +96,10 @@ type Plan struct {
 	Proven bool
 	// Nodes counts search nodes explored.
 	Nodes int
+	// Fallbacks records resilience degradations applied by SolveResilient
+	// while producing this plan ("greedy: ...", "milp-oracle: ...").
+	// Empty for a clean exact solve.
+	Fallbacks []string
 }
 
 // ErrNoTargets is returned when the configuration lists no targets.
@@ -209,6 +233,8 @@ func Solve(cfg Config) (*Plan, error) {
 
 	nodes := 0
 	exhausted := false
+	var abortErr error
+	every := cfg.checkEvery()
 	var cur []int
 	var dfs func(k int, spent float64, curOpt float64)
 	dfs = func(k int, spent float64, curOpt float64) {
@@ -219,6 +245,20 @@ func Solve(cfg Config) (*Plan, error) {
 		if nodes > maxNodes {
 			exhausted = true
 			return
+		}
+		if nodes%every == 0 {
+			if cfg.Ctx != nil {
+				if err := cfg.Ctx.Err(); err != nil {
+					exhausted, abortErr = true, err
+					return
+				}
+			}
+			if cfg.Hook != nil {
+				if err := cfg.Hook("adversary.node"); err != nil {
+					exhausted, abortErr = true, fmt.Errorf("adversary: injected at node %d: %w", nodes, err)
+					return
+				}
+			}
 		}
 		// Evaluate the current set exactly; it is always feasible.
 		if val, _ := in.value(cur); val > bestVal+1e-12 {
@@ -243,8 +283,55 @@ func Solve(cfg Config) (*Plan, error) {
 		dfs(k+1, spent, curOpt)
 	}
 	dfs(0, 0, 0)
+	if abortErr != nil {
+		return nil, abortErr
+	}
 
 	return in.plan(bestSet, nodes, !exhausted), nil
+}
+
+// SolveResilient is Solve with the fallback chain of the resilience layer:
+// exact branch and bound first; on failure (error or panic, but never
+// cancellation) the greedy heuristic; and finally the generic MILP oracle.
+// Each degradation is recorded in Plan.Fallbacks so experiment accounting
+// can report how a plan was produced.
+func SolveResilient(cfg Config) (*Plan, error) {
+	plan, err := recovering("exact", func() (*Plan, error) { return Solve(cfg) })
+	if err == nil {
+		return plan, nil
+	}
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return nil, err // canceled: stop, don't degrade
+	}
+	chain := []string{fmt.Sprintf("greedy: exact solver failed (%v)", err)}
+
+	// The greedy heuristic shares newInstance's validation, so invalid
+	// configurations still fail here rather than degrade forever.
+	plan, gerr := recovering("greedy", func() (*Plan, error) { return SolveGreedy(cfg) })
+	if gerr == nil {
+		plan.Fallbacks = chain
+		return plan, nil
+	}
+	chain = append(chain, fmt.Sprintf("milp-oracle: greedy failed (%v)", gerr))
+
+	plan, merr := recovering("milp-oracle", func() (*Plan, error) { return SolveMILP(cfg) })
+	if merr == nil {
+		plan.Fallbacks = chain
+		return plan, nil
+	}
+	return nil, fmt.Errorf("adversary: all solvers failed: exact (%v); greedy (%v); milp (%w)",
+		err, gerr, merr)
+}
+
+// recovering converts a panicking solver into an error so the fallback
+// chain can degrade instead of crashing the trial.
+func recovering(stage string, fn func() (*Plan, error)) (plan *Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, fmt.Errorf("adversary: %s solver panicked: %v", stage, r)
+		}
+	}()
+	return fn()
 }
 
 // greedy grows the target set by best exact marginal value.

@@ -1,0 +1,101 @@
+package adversary
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cpsguard/internal/impact"
+)
+
+func resilientMatrix() *impact.Matrix {
+	m := &impact.Matrix{
+		Actors:  []string{"a1", "a2"},
+		Targets: []string{"t1", "t2", "t3"},
+		IM: map[string]map[string]float64{
+			"a1": {"t1": 5, "t2": -2, "t3": 1},
+			"a2": {"t1": -1, "t2": 4, "t3": 2},
+		},
+		WelfareDelta: map[string]float64{"t1": -4, "t2": -3, "t3": -2},
+	}
+	return m
+}
+
+func resilientConfig() Config {
+	return Config{
+		Matrix:  resilientMatrix(),
+		Targets: UniformTargets([]string{"t1", "t2", "t3"}, 1, 1),
+		Budget:  2,
+	}
+}
+
+func TestSolveResilientCleanPathHasNoFallbacks(t *testing.T) {
+	plan, err := SolveResilient(resilientConfig())
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if len(plan.Fallbacks) != 0 {
+		t.Fatalf("clean solve recorded fallbacks: %v", plan.Fallbacks)
+	}
+	exact, err := Solve(resilientConfig())
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	if plan.Anticipated != exact.Anticipated {
+		t.Fatalf("resilient %v != exact %v", plan.Anticipated, exact.Anticipated)
+	}
+}
+
+func TestSolveResilientFallsBackToGreedyOnHookError(t *testing.T) {
+	cfg := resilientConfig()
+	cfg.CheckEvery = 1
+	cfg.Hook = func(site string) error { return errors.New("injected") }
+	plan, err := SolveResilient(cfg)
+	if err != nil {
+		t.Fatalf("err = %v, want greedy fallback to succeed", err)
+	}
+	if len(plan.Fallbacks) != 1 || !strings.HasPrefix(plan.Fallbacks[0], "greedy:") {
+		t.Fatalf("Fallbacks = %v, want one greedy record", plan.Fallbacks)
+	}
+	if plan.Proven {
+		t.Fatal("greedy fallback claims proven optimality")
+	}
+	if plan.Anticipated <= 0 {
+		t.Fatalf("greedy plan anticipated %v, want > 0", plan.Anticipated)
+	}
+}
+
+func TestSolveResilientRecoversHookPanic(t *testing.T) {
+	cfg := resilientConfig()
+	cfg.CheckEvery = 1
+	cfg.Hook = func(site string) error { panic("injected panic") }
+	plan, err := SolveResilient(cfg)
+	if err != nil {
+		t.Fatalf("err = %v, want panic recovered into greedy fallback", err)
+	}
+	if len(plan.Fallbacks) != 1 || !strings.Contains(plan.Fallbacks[0], "panicked") {
+		t.Fatalf("Fallbacks = %v, want record naming the panic", plan.Fallbacks)
+	}
+}
+
+func TestSolveResilientNeverMasksCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := resilientConfig()
+	cfg.Ctx = ctx
+	cfg.CheckEvery = 1
+	_, err := SolveResilient(cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (no silent degradation)", err)
+	}
+}
+
+func TestSolveResilientInvalidConfigFailsEverywhere(t *testing.T) {
+	cfg := resilientConfig()
+	cfg.Targets = nil
+	_, err := SolveResilient(cfg)
+	if !errors.Is(err, ErrNoTargets) {
+		t.Fatalf("err = %v, want ErrNoTargets from all stages", err)
+	}
+}

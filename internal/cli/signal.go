@@ -1,0 +1,49 @@
+// Signal/timeout plumbing shared by the cmd/ tools: every binary gets a
+// -timeout flag and SIGINT/SIGTERM handling, cancelling in-flight solves
+// through the context threaded into the solver layers.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// SignalContext returns a context cancelled by SIGINT/SIGTERM and, when
+// timeout > 0, by the deadline. Call stop when the work is done to restore
+// default signal handling (a second signal then kills the process).
+func SignalContext(timeout time.Duration) (ctx context.Context, stop context.CancelFunc) {
+	ctx, sigStop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, sigStop
+	}
+	ctx, tCancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() { tCancel(); sigStop() }
+}
+
+// ExitCanceled reports cancellation to stderr — with the partial-progress
+// line when non-empty — and exits non-zero (130, the conventional
+// interrupted-by-signal code). It only returns when err is unrelated to
+// ctx's cancellation.
+func ExitCanceled(ctx context.Context, err error, partial string) {
+	if ctx.Err() == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	cause := ctx.Err()
+	if cause == nil {
+		cause = err
+	}
+	what := "interrupted"
+	if errors.Is(cause, context.DeadlineExceeded) {
+		what = "timed out"
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", what)
+	if partial != "" {
+		fmt.Fprintf(os.Stderr, "partial progress: %s\n", partial)
+	}
+	os.Exit(130)
+}

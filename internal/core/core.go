@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -181,6 +182,10 @@ type GameConfig struct {
 	NoiseMode NoiseMode
 	// Seed drives all randomness in the round.
 	Seed uint64
+	// Ctx, when non-nil, cancels the round: it is threaded into the
+	// adversary search and the attack-probability sampling pool so
+	// in-flight solves stop promptly.
+	Ctx context.Context
 }
 
 func (c GameConfig) paSamples() int {
@@ -213,10 +218,18 @@ type GameResult struct {
 // ErrNilScenario guards PlayRound.
 var ErrNilScenario = errors.New("core: nil scenario or graph")
 
-// PlayRound runs one full adversary-vs-defenders round.
+// PlayRound runs one full adversary-vs-defenders round. The adversary
+// search uses the resilient fallback chain (exact → greedy → MILP oracle)
+// so a numerically hostile view degrades rather than kills the round;
+// cfg.Ctx cancellation aborts the round with the context error.
 func PlayRound(s *Scenario, cfg GameConfig) (*GameResult, error) {
 	if s == nil || s.Graph == nil {
 		return nil, ErrNilScenario
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	truth, err := s.Truth()
 	if err != nil {
@@ -229,8 +242,9 @@ func PlayRound(s *Scenario, cfg GameConfig) (*GameResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: adversary view: %w", err)
 	}
-	plan, err := adversary.Solve(adversary.Config{
+	plan, err := adversary.SolveResilient(adversary.Config{
 		Matrix: atkView, Targets: targets, Budget: cfg.AttackBudget,
+		Ctx: cfg.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: adversary: %w", err)
@@ -241,8 +255,12 @@ func PlayRound(s *Scenario, cfg GameConfig) (*GameResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: defender view: %w", err)
 	}
+	par := s.Parallel
+	if cfg.Ctx != nil {
+		par.Context = cfg.Ctx
+	}
 	pa, err := defense.EstimateAttackProb(defView, targets, cfg.AttackBudget,
-		cfg.SpeculatedSigma, cfg.paSamples(), cfg.Seed^0xD1FA, s.Parallel)
+		cfg.SpeculatedSigma, cfg.paSamples(), cfg.Seed^0xD1FA, par)
 	if err != nil {
 		return nil, fmt.Errorf("core: attack probability: %w", err)
 	}

@@ -92,8 +92,15 @@ func successProb(m map[string]float64, t string) float64 {
 	return 1
 }
 
-// PlanIndependent solves Eqs. 12–14 exactly for one actor.
-func PlanIndependent(cfg IndependentConfig) (*Investment, error) {
+// PlanIndependent solves Eqs. 12–14 exactly for one actor. A panic in the
+// knapsack layer (e.g. poisoned inputs) is recovered and returned as an
+// error so a single bad trial cannot crash a Monte-Carlo run.
+func PlanIndependent(cfg IndependentConfig) (inv *Investment, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			inv, err = nil, fmt.Errorf("defense: independent plan for %s panicked: %v", cfg.Actor, r)
+		}
+	}()
 	if cfg.Matrix == nil {
 		return nil, errors.New("defense: nil impact matrix")
 	}
@@ -115,7 +122,7 @@ func PlanIndependent(cfg IndependentConfig) (*Investment, error) {
 		weights = append(weights, cd)
 	}
 	chosen, val := knapsack.Solve(values, weights, cfg.Budget)
-	inv := &Investment{Defended: map[string]bool{}, AvertedExpectedLoss: val}
+	inv = &Investment{Defended: map[string]bool{}, AvertedExpectedLoss: val}
 	for _, i := range chosen {
 		inv.Defended[ids[i]] = true
 		inv.Spent += weights[i]
@@ -194,8 +201,14 @@ type CollabInvestment struct {
 }
 
 // PlanCollaborative solves Eqs. 15–18 exactly as a multi-dimensional
-// knapsack (one cost-share budget row per actor).
-func PlanCollaborative(cfg CollaborativeConfig) (*CollabInvestment, error) {
+// knapsack (one cost-share budget row per actor). Panics in the knapsack
+// layer are recovered and returned as errors.
+func PlanCollaborative(cfg CollaborativeConfig) (inv *CollabInvestment, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			inv, err = nil, fmt.Errorf("defense: collaborative plan panicked: %v", r)
+		}
+	}()
 	if cfg.Matrix == nil {
 		return nil, errors.New("defense: nil impact matrix")
 	}
@@ -272,7 +285,7 @@ func PlanCollaborative(cfg CollaborativeConfig) (*CollabInvestment, error) {
 	}
 
 	chosen, val := knapsack.SolveMulti(values, weights, budgets)
-	inv := &CollabInvestment{
+	inv = &CollabInvestment{
 		Defended:   map[string]bool{},
 		Share:      map[string]map[string]float64{},
 		TotalValue: val,
@@ -294,6 +307,10 @@ func PlanCollaborative(cfg CollaborativeConfig) (*CollabInvestment, error) {
 // believed impact matrix with her estimate sigmaSpec of the adversary's
 // knowledge noise, solves the SA for each of samples draws, and returns the
 // attack frequency per target. Sampling fans out across cores.
+//
+// Each sample uses the resilient adversary chain (exact → greedy → MILP
+// oracle), and the pool's context (par.Context) is threaded into every
+// solve so cancellation stops in-flight searches.
 func EstimateAttackProb(believed *impact.Matrix, targets []adversary.Target,
 	budget float64, sigmaSpec float64, samples int, seed uint64,
 	par parallel.Options) (map[string]float64, error) {
@@ -304,8 +321,9 @@ func EstimateAttackProb(believed *impact.Matrix, targets []adversary.Target,
 		rs := rng.Derive(seed, uint64(i))
 		view := *believed // shallow copy; IM replaced below
 		view.IM = noise.PerturbMatrix(believed.IM, sigmaSpec, rs)
-		p, err := adversary.Solve(adversary.Config{
+		p, err := adversary.SolveResilient(adversary.Config{
 			Matrix: &view, Targets: targets, Budget: budget,
+			Ctx: par.Context,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cpsguard/internal/core"
+	"cpsguard/internal/faultinject"
+	"cpsguard/internal/parallel"
+)
+
+// chaosConfig is a quick Fig-2/Fig-5-scale configuration.
+func chaosConfig(pol FaultPolicy) Config {
+	return Config{
+		Trials:    10,
+		Seed:      7,
+		NoiseMode: core.MatrixNoise,
+		ActorGrid: []int{2, 4},
+		SigmaGrid: []float64{0, 0.2},
+		PaSamples: 4,
+		Faults:    pol,
+	}
+}
+
+// TestChaosFig2WithInjectedFaults is the acceptance check: a Fig-2-style
+// experiment with ~10% of trials failing by injection completes, excludes
+// the failed trials, and accounts for every one of them.
+func TestChaosFig2WithInjectedFaults(t *testing.T) {
+	in := faultinject.New(99).Arm("experiments.trial", faultinject.Error, 0.10)
+	log := &FaultLog{}
+	cfg := chaosConfig(FaultPolicy{MaxFailureRate: 0.5, Hook: in.Hook, Log: log})
+
+	tb, err := Fig2(cfg)
+	if err != nil {
+		t.Fatalf("Fig2 under 10%% faults: %v", err)
+	}
+	if len(tb.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(tb.Series))
+	}
+
+	fired := in.FiredAt("experiments.trial")
+	if fired == 0 {
+		t.Fatal("10% rate over 20 trials fired nothing; chaos test is vacuous")
+	}
+	failures := log.Failures()
+	if len(failures) != fired {
+		t.Fatalf("log has %d failures, injector fired %d", len(failures), fired)
+	}
+	for _, f := range failures {
+		if !errors.Is(f.Err, faultinject.ErrInjected) {
+			t.Fatalf("failure %v not attributed to injection", f)
+		}
+		if !strings.HasPrefix(f.Point, "fig2 ") {
+			t.Fatalf("failure point %q, want fig2 label", f.Point)
+		}
+	}
+	if log.Trials() != 20 { // 2 actor counts × 10 trials
+		t.Fatalf("log counted %d trials, want 20", log.Trials())
+	}
+	if got, want := log.FailureRate(), float64(fired)/20.0; got != want {
+		t.Fatalf("FailureRate = %v, want %v", got, want)
+	}
+}
+
+// TestChaosStrictPolicyAborts checks the zero-value policy keeps the
+// pre-resilience behaviour: one failed trial fails the experiment.
+func TestChaosStrictPolicyAborts(t *testing.T) {
+	in := faultinject.New(99).Arm("experiments.trial", faultinject.Error, 1)
+	cfg := chaosConfig(FaultPolicy{Hook: in.Hook})
+	if _, err := Fig2(cfg); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected failure to surface", err)
+	}
+}
+
+// TestChaosThresholdExceeded checks the experiment fails when the failure
+// rate exceeds the tolerance.
+func TestChaosThresholdExceeded(t *testing.T) {
+	in := faultinject.New(99).Arm("experiments.trial", faultinject.Error, 1)
+	cfg := chaosConfig(FaultPolicy{MaxFailureRate: 0.5, Hook: in.Hook})
+	_, err := Fig2(cfg)
+	if err == nil || !strings.Contains(err.Error(), "trials failed") {
+		t.Fatalf("err = %v, want failure-rate report", err)
+	}
+}
+
+// TestChaosFig5EndToEnd injects faults into the full game-round pipeline
+// (Pa estimation, knapsacks, settlements) and checks the figure completes
+// with per-point accounting.
+func TestChaosFig5EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-round chaos is slow")
+	}
+	in := faultinject.New(3).Arm("experiments.trial", faultinject.Error, 0.10)
+	log := &FaultLog{}
+	cfg := chaosConfig(FaultPolicy{MaxFailureRate: 0.6, Hook: in.Hook, Log: log})
+	cfg.Trials = 5
+
+	tb, err := Fig5(cfg)
+	if err != nil {
+		t.Fatalf("Fig5 under faults: %v", err)
+	}
+	if len(tb.Series) != 2 {
+		t.Fatalf("series = %d, want 2 actor counts", len(tb.Series))
+	}
+	if log.Trials() != 2*2*5 { // actors × sigmas × trials
+		t.Fatalf("trials counted %d, want 20", log.Trials())
+	}
+}
+
+// TestChaosCancellationAborts checks injection never masks cancellation:
+// an expired context fails the experiment with the context error even
+// under a tolerant policy.
+func TestChaosCancellationAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := chaosConfig(FaultPolicy{MaxFailureRate: 1})
+	cfg.Parallel = parallel.Options{Context: ctx}
+	_, err := Fig2(cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cpsguard/internal/adversary"
@@ -55,6 +56,9 @@ type Config struct {
 	// PaSamples is the number of speculated-SA samples for Pa
 	// estimation (default 16).
 	PaSamples int
+	// Faults governs per-trial failure tolerance (default: strict — any
+	// trial failure fails the experiment). See FaultPolicy.
+	Faults FaultPolicy
 }
 
 func (c Config) graph() *graph.Graph {
@@ -130,17 +134,18 @@ func Fig2(cfg Config) (*stats.Table, error) {
 	netS := t.AddSeries("gain+loss")
 	for _, n := range cfg.actorGrid([]int{2, 4, 6, 8, 10, 12, 14, 16}) {
 		type gl struct{ gain, loss float64 }
-		vals, err := parallel.Map(cfg.trials(), cfg.Parallel, func(trial int) (gl, error) {
-			s := cfg.scenarioFor(n, trial)
-			m, err := s.Truth()
-			if err != nil {
-				return gl{}, err
-			}
-			g, l := m.GainLoss()
-			return gl{g, l}, nil
-		})
+		vals, err := runTrials(fmt.Sprintf("fig2 n=%d", n), cfg.trials(), cfg.Parallel, cfg.Faults,
+			func(ctx context.Context, trial int) (gl, error) {
+				s := cfg.scenarioFor(n, trial)
+				m, err := s.Truth()
+				if err != nil {
+					return gl{}, err
+				}
+				g, l := m.GainLoss()
+				return gl{g, l}, nil
+			})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig2 n=%d: %w", n, err)
+			return nil, err
 		}
 		var ga, la, na stats.Accumulator
 		for _, v := range vals {
@@ -172,27 +177,30 @@ func Fig3(cfg Config) (*stats.Table, error) {
 			scens[i] = cfg.scenarioFor(n, i)
 		}
 		for _, sigma := range cfg.sigmaGrid() {
-			mean, se, err := parallel.MeanOf(cfg.trials(), cfg.Parallel, func(trial int) (float64, error) {
-				s := scens[trial]
-				truth, err := s.Truth()
-				if err != nil {
-					return 0, err
-				}
-				view, err := s.View(sigma, cfg.NoiseMode,
-					rng.Derive(cfg.seed()^0xF13, uint64(trial)<<16|uint64(sigma*1000)))
-				if err != nil {
-					return 0, err
-				}
-				plan, err := adversary.Solve(adversary.Config{
-					Matrix: view, Targets: s.Targets, Budget: cfg.attackBudget(),
+			mean, se, err := meanOfTrials(fmt.Sprintf("fig3 n=%d σ=%v", n, sigma),
+				cfg.trials(), cfg.Parallel, cfg.Faults,
+				func(ctx context.Context, trial int) (float64, error) {
+					s := scens[trial]
+					truth, err := s.Truth()
+					if err != nil {
+						return 0, err
+					}
+					view, err := s.View(sigma, cfg.NoiseMode,
+						rng.Derive(cfg.seed()^0xF13, uint64(trial)<<16|uint64(sigma*1000)))
+					if err != nil {
+						return 0, err
+					}
+					plan, err := adversary.SolveResilient(adversary.Config{
+						Matrix: view, Targets: s.Targets, Budget: cfg.attackBudget(),
+						Ctx: ctx,
+					})
+					if err != nil {
+						return 0, err
+					}
+					return adversary.Evaluate(plan, truth, s.Targets, adversary.EvaluateOptions{}), nil
 				})
-				if err != nil {
-					return 0, err
-				}
-				return adversary.Evaluate(plan, truth, s.Targets, adversary.EvaluateOptions{}), nil
-			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: fig3 n=%d σ=%v: %w", n, sigma, err)
+				return nil, err
 			}
 			series.Add(sigma, mean, se)
 		}
@@ -219,28 +227,30 @@ func Fig4(cfg Config) (*stats.Table, error) {
 	}
 	for _, sigma := range cfg.sigmaGrid() {
 		type pair struct{ ant, obs float64 }
-		vals, err := parallel.Map(cfg.trials(), cfg.Parallel, func(trial int) (pair, error) {
-			s := scens[trial]
-			truth, err := s.Truth()
-			if err != nil {
-				return pair{}, err
-			}
-			view, err := s.View(sigma, cfg.NoiseMode,
-				rng.Derive(cfg.seed()^0xF14, uint64(trial)<<16|uint64(sigma*1000)))
-			if err != nil {
-				return pair{}, err
-			}
-			plan, err := adversary.Solve(adversary.Config{
-				Matrix: view, Targets: s.Targets, Budget: cfg.attackBudget(),
+		vals, err := runTrials(fmt.Sprintf("fig4 σ=%v", sigma), cfg.trials(), cfg.Parallel, cfg.Faults,
+			func(ctx context.Context, trial int) (pair, error) {
+				s := scens[trial]
+				truth, err := s.Truth()
+				if err != nil {
+					return pair{}, err
+				}
+				view, err := s.View(sigma, cfg.NoiseMode,
+					rng.Derive(cfg.seed()^0xF14, uint64(trial)<<16|uint64(sigma*1000)))
+				if err != nil {
+					return pair{}, err
+				}
+				plan, err := adversary.SolveResilient(adversary.Config{
+					Matrix: view, Targets: s.Targets, Budget: cfg.attackBudget(),
+					Ctx: ctx,
+				})
+				if err != nil {
+					return pair{}, err
+				}
+				obs := adversary.Evaluate(plan, truth, s.Targets, adversary.EvaluateOptions{})
+				return pair{plan.Anticipated, obs}, nil
 			})
-			if err != nil {
-				return pair{}, err
-			}
-			obs := adversary.Evaluate(plan, truth, s.Targets, adversary.EvaluateOptions{})
-			return pair{plan.Anticipated, obs}, nil
-		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig4 σ=%v: %w", sigma, err)
+			return nil, err
 		}
 		var aa, oa stats.Accumulator
 		for _, v := range vals {
@@ -254,10 +264,12 @@ func Fig4(cfg Config) (*stats.Table, error) {
 }
 
 // defenseEffectiveness runs one full game round and returns the paper's
-// Fig. 5 metric.
-func defenseEffectiveness(s *core.Scenario, cfg Config, sigma float64, nActors int,
-	collaborative bool, seed uint64) (float64, error) {
+// Fig. 5 metric. The trial context is threaded into the round so
+// cancellation stops in-flight solves.
+func defenseEffectiveness(ctx context.Context, s *core.Scenario, cfg Config, sigma float64,
+	nActors int, collaborative bool, seed uint64) (float64, error) {
 	res, err := core.PlayRound(s, core.GameConfig{
+		Ctx:                   ctx,
 		AttackBudget:          1, // the paper's "fixed attack (single asset)"
 		AttackerSigma:         0,
 		DefenderSigma:         sigma,
@@ -291,12 +303,14 @@ func Fig5(cfg Config) (*stats.Table, error) {
 			scens[i] = cfg.scenarioFor(n, i)
 		}
 		for _, sigma := range cfg.sigmaGrid() {
-			mean, se, err := parallel.MeanOf(cfg.trials(), cfg.Parallel, func(trial int) (float64, error) {
-				return defenseEffectiveness(scens[trial], cfg, sigma, n, false,
-					cfg.seed()^0xF15^uint64(trial)<<20^uint64(sigma*1000))
-			})
+			mean, se, err := meanOfTrials(fmt.Sprintf("fig5 n=%d σ=%v", n, sigma),
+				cfg.trials(), cfg.Parallel, cfg.Faults,
+				func(ctx context.Context, trial int) (float64, error) {
+					return defenseEffectiveness(ctx, scens[trial], cfg, sigma, n, false,
+						cfg.seed()^0xF15^uint64(trial)<<20^uint64(sigma*1000))
+				})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: fig5 n=%d σ=%v: %w", n, sigma, err)
+				return nil, err
 			}
 			series.Add(sigma, mean, se)
 		}
@@ -321,20 +335,21 @@ func Fig6(cfg Config) (*stats.Table, error) {
 	}
 	for _, sigma := range cfg.sigmaGrid() {
 		type pair struct{ ind, col float64 }
-		vals, err := parallel.Map(cfg.trials(), cfg.Parallel, func(trial int) (pair, error) {
-			seed := cfg.seed() ^ 0xF16 ^ uint64(trial)<<20 ^ uint64(sigma*1000)
-			ind, err := defenseEffectiveness(scens[trial], cfg, sigma, n, false, seed)
-			if err != nil {
-				return pair{}, err
-			}
-			col, err := defenseEffectiveness(scens[trial], cfg, sigma, n, true, seed)
-			if err != nil {
-				return pair{}, err
-			}
-			return pair{ind, col}, nil
-		})
+		vals, err := runTrials(fmt.Sprintf("fig6 σ=%v", sigma), cfg.trials(), cfg.Parallel, cfg.Faults,
+			func(ctx context.Context, trial int) (pair, error) {
+				seed := cfg.seed() ^ 0xF16 ^ uint64(trial)<<20 ^ uint64(sigma*1000)
+				ind, err := defenseEffectiveness(ctx, scens[trial], cfg, sigma, n, false, seed)
+				if err != nil {
+					return pair{}, err
+				}
+				col, err := defenseEffectiveness(ctx, scens[trial], cfg, sigma, n, true, seed)
+				if err != nil {
+					return pair{}, err
+				}
+				return pair{ind, col}, nil
+			})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6 σ=%v: %w", sigma, err)
+			return nil, err
 		}
 		var ia, ca stats.Accumulator
 		for _, v := range vals {
@@ -367,20 +382,21 @@ func Fig7(cfg Config) (*stats.Table, error) {
 			scens[i] = cfg.scenarioFor(n, i)
 		}
 		type pair struct{ ind, col float64 }
-		vals, err := parallel.Map(cfg.trials(), cfg.Parallel, func(trial int) (pair, error) {
-			seed := cfg.seed() ^ 0xF17 ^ uint64(trial)<<20 ^ uint64(n)
-			ind, err := defenseEffectiveness(scens[trial], cfg, sigma, n, false, seed)
-			if err != nil {
-				return pair{}, err
-			}
-			col, err := defenseEffectiveness(scens[trial], cfg, sigma, n, true, seed)
-			if err != nil {
-				return pair{}, err
-			}
-			return pair{ind, col}, nil
-		})
+		vals, err := runTrials(fmt.Sprintf("fig7 n=%d", n), cfg.trials(), cfg.Parallel, cfg.Faults,
+			func(ctx context.Context, trial int) (pair, error) {
+				seed := cfg.seed() ^ 0xF17 ^ uint64(trial)<<20 ^ uint64(n)
+				ind, err := defenseEffectiveness(ctx, scens[trial], cfg, sigma, n, false, seed)
+				if err != nil {
+					return pair{}, err
+				}
+				col, err := defenseEffectiveness(ctx, scens[trial], cfg, sigma, n, true, seed)
+				if err != nil {
+					return pair{}, err
+				}
+				return pair{ind, col}, nil
+			})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig7 n=%d: %w", n, err)
+			return nil, err
 		}
 		var ia, ca, ba stats.Accumulator
 		for _, v := range vals {

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cpsguard/internal/adversary"
@@ -49,29 +50,30 @@ func BaselineComparison(cfg Config) (*stats.Table, error) {
 	}
 	for _, sigma := range cfg.sigmaGrid() {
 		type row struct{ ind, col, top, wtop float64 }
-		vals, err := parallel.Map(cfg.trials(), cfg.Parallel, func(trial int) (row, error) {
-			s := scens[trial]
-			seed := cfg.seed() ^ 0xE41 ^ uint64(trial)<<20 ^ uint64(sigma*1000)
-			ind, err := defenseEffectiveness(s, cfg, sigma, n, false, seed)
-			if err != nil {
-				return row{}, err
-			}
-			col, err := defenseEffectiveness(s, cfg, sigma, n, true, seed)
-			if err != nil {
-				return row{}, err
-			}
-			top, err := topologicalEffectiveness(s, cfg, false, seed)
-			if err != nil {
-				return row{}, err
-			}
-			wtop, err := topologicalEffectiveness(s, cfg, true, seed)
-			if err != nil {
-				return row{}, err
-			}
-			return row{ind, col, top, wtop}, nil
-		})
+		vals, err := runTrials(fmt.Sprintf("baseline σ=%v", sigma), cfg.trials(), cfg.Parallel, cfg.Faults,
+			func(ctx context.Context, trial int) (row, error) {
+				s := scens[trial]
+				seed := cfg.seed() ^ 0xE41 ^ uint64(trial)<<20 ^ uint64(sigma*1000)
+				ind, err := defenseEffectiveness(ctx, s, cfg, sigma, n, false, seed)
+				if err != nil {
+					return row{}, err
+				}
+				col, err := defenseEffectiveness(ctx, s, cfg, sigma, n, true, seed)
+				if err != nil {
+					return row{}, err
+				}
+				top, err := topologicalEffectiveness(s, cfg, false, seed)
+				if err != nil {
+					return row{}, err
+				}
+				wtop, err := topologicalEffectiveness(s, cfg, true, seed)
+				if err != nil {
+					return row{}, err
+				}
+				return row{ind, col, top, wtop}, nil
+			})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: baseline σ=%v: %w", sigma, err)
+			return nil, err
 		}
 		var ia, ca, ta, wa stats.Accumulator
 		for _, v := range vals {
@@ -172,28 +174,30 @@ func Deception(cfg Config) (*stats.Table, error) {
 	}
 	for _, sigma := range cfg.sigmaGrid() {
 		type row struct{ ant, obs, val float64 }
-		vals, err := parallel.Map(cfg.trials(), cfg.Parallel, func(trial int) (row, error) {
-			s := scens[trial]
-			truth, err := s.Truth()
-			if err != nil {
-				return row{}, err
-			}
-			view, err := s.View(sigma, cfg.NoiseMode,
-				rng.Derive(cfg.seed()^0xE42, uint64(trial)<<16|uint64(sigma*1000)))
-			if err != nil {
-				return row{}, err
-			}
-			plan, err := adversary.Solve(adversary.Config{
-				Matrix: view, Targets: s.Targets, Budget: cfg.attackBudget(),
+		vals, err := runTrials(fmt.Sprintf("deception σ=%v", sigma), cfg.trials(), cfg.Parallel, cfg.Faults,
+			func(ctx context.Context, trial int) (row, error) {
+				s := scens[trial]
+				truth, err := s.Truth()
+				if err != nil {
+					return row{}, err
+				}
+				view, err := s.View(sigma, cfg.NoiseMode,
+					rng.Derive(cfg.seed()^0xE42, uint64(trial)<<16|uint64(sigma*1000)))
+				if err != nil {
+					return row{}, err
+				}
+				plan, err := adversary.SolveResilient(adversary.Config{
+					Matrix: view, Targets: s.Targets, Budget: cfg.attackBudget(),
+					Ctx: ctx,
+				})
+				if err != nil {
+					return row{}, err
+				}
+				obs := adversary.Evaluate(plan, truth, s.Targets, adversary.EvaluateOptions{})
+				return row{plan.Anticipated, obs, ref[trial] - obs}, nil
 			})
-			if err != nil {
-				return row{}, err
-			}
-			obs := adversary.Evaluate(plan, truth, s.Targets, adversary.EvaluateOptions{})
-			return row{plan.Anticipated, obs, ref[trial] - obs}, nil
-		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: deception σ=%v: %w", sigma, err)
+			return nil, err
 		}
 		var aa, oa, va stats.Accumulator
 		for _, v := range vals {
@@ -256,49 +260,51 @@ func AttackVectors(cfg Config) (*stats.Table, error) {
 	vectors := StandardVectors()
 	for vi, vec := range vectors {
 		type row struct{ profit, damage float64 }
-		vals, err := parallel.Map(cfg.trials(), cfg.Parallel, func(trial int) (row, error) {
-			s := cfg.scenarioFor(n, trial)
-			an := &impact.Analysis{
-				Graph: s.Graph, Ownership: s.Ownership,
-				Parallel: parallel.Options{Workers: 1},
-			}
-			g := s.Graph
-			m, err := an.ComputeMatrixOf(nil, func(id string) []impact.Perturbation {
-				e := g.Edge(id)
-				cur := 0.0
-				switch {
-				case e == nil:
-				default:
-					cur = e.Capacity
+		vals, err := runTrials(fmt.Sprintf("vectors %s", vec.Name), cfg.trials(), cfg.Parallel, cfg.Faults,
+			func(ctx context.Context, trial int) (row, error) {
+				s := cfg.scenarioFor(n, trial)
+				an := &impact.Analysis{
+					Graph: s.Graph, Ownership: s.Ownership,
+					Parallel: parallel.Options{Workers: 1},
 				}
-				// Loss attacks must stay legal: never lower a loss.
-				ps := vec.Make(id, cur)
-				for i := range ps {
-					if ps[i].Field == impact.Loss && e != nil && e.Loss > ps[i].Value {
-						ps[i].Value = e.Loss
+				g := s.Graph
+				m, err := an.ComputeMatrixOf(nil, func(id string) []impact.Perturbation {
+					e := g.Edge(id)
+					cur := 0.0
+					switch {
+					case e == nil:
+					default:
+						cur = e.Capacity
+					}
+					// Loss attacks must stay legal: never lower a loss.
+					ps := vec.Make(id, cur)
+					for i := range ps {
+						if ps[i].Field == impact.Loss && e != nil && e.Loss > ps[i].Value {
+							ps[i].Value = e.Loss
+						}
+					}
+					return ps
+				})
+				if err != nil {
+					return row{}, err
+				}
+				plan, err := adversary.SolveResilient(adversary.Config{
+					Matrix: m, Targets: s.Targets, Budget: cfg.attackBudget(),
+					Ctx: ctx,
+				})
+				if err != nil {
+					return row{}, err
+				}
+				worst := 0.0
+				for _, tg := range m.Targets {
+					if d := -m.WelfareDelta[tg]; d > worst {
+						worst = d
 					}
 				}
-				return ps
+				return row{plan.Anticipated, worst}, nil
 			})
-			if err != nil {
-				return row{}, err
-			}
-			plan, err := adversary.Solve(adversary.Config{
-				Matrix: m, Targets: s.Targets, Budget: cfg.attackBudget(),
-			})
-			if err != nil {
-				return row{}, err
-			}
-			worst := 0.0
-			for _, tg := range m.Targets {
-				if d := -m.WelfareDelta[tg]; d > worst {
-					worst = d
-				}
-			}
-			return row{plan.Anticipated, worst}, nil
-		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: vectors %s: %w", vec.Name, err)
+			return nil, err
 		}
 		var pa, da stats.Accumulator
 		for _, v := range vals {

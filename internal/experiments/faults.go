@@ -1,0 +1,165 @@
+// Trial-fault tolerance for the Monte-Carlo experiment runners: failed
+// trials are counted, logged, and excluded from aggregates instead of
+// aborting a whole figure, and an experiment only fails when the failure
+// rate exceeds the configured threshold. Cancellation is never absorbed —
+// a canceled context always aborts the experiment with the context error.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"cpsguard/internal/parallel"
+)
+
+// FaultPolicy governs how experiment runners treat per-trial failures.
+// The zero value is strict: any trial failure fails the experiment.
+type FaultPolicy struct {
+	// MaxFailureRate is the tolerated fraction of failed trials per point
+	// in [0,1). With the default 0, a single trial failure aborts the
+	// experiment (the pre-resilience behaviour).
+	MaxFailureRate float64
+	// Hook, when non-nil, is consulted at site "experiments.trial" before
+	// each trial; a non-nil return fails that trial without running it.
+	// Fault-injection tests arm this to simulate flaky trials.
+	Hook func(site string) error
+	// Log, when non-nil, collects every trial failure for post-run
+	// inspection.
+	Log *FaultLog
+}
+
+// TrialError records one failed trial.
+type TrialError struct {
+	// Point labels the experiment point ("fig5 n=4 σ=0.2").
+	Point string
+	// Trial is the trial index within the point.
+	Trial int
+	// Err is the failure.
+	Err error
+}
+
+// Error implements error.
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("%s trial %d: %v", e.Point, e.Trial, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As.
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// FaultLog accumulates trial failures across an experiment run. Safe for
+// concurrent use.
+type FaultLog struct {
+	mu       sync.Mutex
+	failures []TrialError
+	trials   int // total trials attempted
+}
+
+// record is called once per trial (failed or not) so rates are computable.
+func (l *FaultLog) record(point string, trial int, err error) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.trials++
+	if err != nil {
+		l.failures = append(l.failures, TrialError{Point: point, Trial: trial, Err: err})
+	}
+}
+
+// Failures returns a copy of the logged trial failures.
+func (l *FaultLog) Failures() []TrialError {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]TrialError(nil), l.failures...)
+}
+
+// Trials returns the total number of trials attempted.
+func (l *FaultLog) Trials() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.trials
+}
+
+// FailureRate returns len(Failures)/Trials (0 when no trials ran).
+func (l *FaultLog) FailureRate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.trials == 0 {
+		return 0
+	}
+	return float64(len(l.failures)) / float64(l.trials)
+}
+
+// runTrials runs fn for n trials under the policy and returns the results
+// of the trials that succeeded (order-preserving within survivors). A
+// canceled pool context aborts with the context error; otherwise failures
+// are counted against the policy's threshold and the call errors only when
+// the per-point failure rate exceeds it or every trial failed.
+func runTrials[T any](point string, n int, par parallel.Options, pol FaultPolicy,
+	fn func(ctx context.Context, trial int) (T, error)) ([]T, error) {
+	wrapped := func(ctx context.Context, i int) (T, error) {
+		if pol.Hook != nil {
+			if err := pol.Hook("experiments.trial"); err != nil {
+				var zero T
+				return zero, err
+			}
+		}
+		return fn(ctx, i)
+	}
+	results, errs, ctxErr := parallel.MapSettle(n, par, wrapped)
+	if ctxErr != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", point, ctxErr)
+	}
+	ok := results[:0:0]
+	failed := 0
+	var firstErr error
+	for i, err := range errs {
+		pol.Log.record(point, i, err)
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ok = append(ok, results[i])
+	}
+	if failed == 0 {
+		return ok, nil
+	}
+	rate := float64(failed) / float64(n)
+	if rate > pol.MaxFailureRate || len(ok) == 0 {
+		return nil, fmt.Errorf("experiments: %s: %d/%d trials failed (rate %.2f > tolerated %.2f), first: %w",
+			point, failed, n, rate, pol.MaxFailureRate, firstErr)
+	}
+	return ok, nil
+}
+
+// meanOfTrials is runTrials followed by mean/standard-error aggregation
+// over the surviving trials — the fault-tolerant analogue of
+// parallel.MeanOf.
+func meanOfTrials(point string, n int, par parallel.Options, pol FaultPolicy,
+	fn func(ctx context.Context, trial int) (float64, error)) (mean, stderr float64, err error) {
+	vals, err := runTrials(point, n, par, pol, fn)
+	if err != nil {
+		return 0, 0, err
+	}
+	var sum, sumSq float64
+	for _, v := range vals {
+		sum += v
+		sumSq += v * v
+	}
+	m := float64(len(vals))
+	mean = sum / m
+	if len(vals) > 1 {
+		variance := (sumSq - sum*sum/m) / (m - 1)
+		if variance < 0 {
+			variance = 0
+		}
+		stderr = math.Sqrt(variance / m)
+	}
+	return mean, stderr, nil
+}

@@ -1,0 +1,189 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"cpsguard/internal/lp"
+)
+
+func TestDeterministicFiring(t *testing.T) {
+	pattern := func() []Fault {
+		in := New(42).Arm("lp.pivot", Error, 0.3)
+		for i := 0; i < 200; i++ {
+			_ = in.Hook("lp.pivot")
+		}
+		return in.Fired()
+	}
+	a, b := pattern(), pattern()
+	if len(a) == 0 {
+		t.Fatal("rate 0.3 over 200 calls fired nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeedChangesPattern(t *testing.T) {
+	fired := func(seed uint64) []int {
+		in := New(seed).Arm("s", Error, 0.2)
+		var calls []int
+		for i := 0; i < 300; i++ {
+			if in.Hook("s") != nil {
+				calls = append(calls, i)
+			}
+		}
+		return calls
+	}
+	a, b := fired(1), fired(2)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+}
+
+func TestKindsMapToErrors(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want error
+	}{
+		{Cancel, context.Canceled},
+		{Timeout, context.DeadlineExceeded},
+		{Error, ErrInjected},
+	}
+	for _, c := range cases {
+		in := New(7).Arm("site", c.kind, 1)
+		err := in.Hook("site")
+		if !errors.Is(err, c.want) {
+			t.Errorf("kind %v: got %v, want errors.Is(..., %v)", c.kind, err, c.want)
+		}
+		var f *Fault
+		if !errors.As(err, &f) || f.Kind != c.kind || f.Call != 1 {
+			t.Errorf("kind %v: fault metadata wrong: %+v", c.kind, f)
+		}
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	in := New(7).Arm("site", Panic, 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Panic kind did not panic")
+		}
+		if f, ok := r.(*Fault); !ok || f.Kind != Panic {
+			t.Fatalf("panic value = %v, want *Fault{Kind: Panic}", r)
+		}
+	}()
+	_ = in.Hook("site")
+}
+
+func TestSiteIsolationAndWildcard(t *testing.T) {
+	in := New(9).Arm("a", Error, 1)
+	if err := in.Hook("b"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if err := in.Hook("a"); err == nil {
+		t.Fatal("armed site did not fire at rate 1")
+	}
+	if got := in.Calls("b"); got != 1 {
+		t.Fatalf("Calls(b) = %d, want 1", got)
+	}
+
+	w := New(9).Arm("*", Error, 1)
+	if err := w.Hook("anything"); err == nil {
+		t.Fatal("wildcard rule did not fire")
+	}
+	if got := w.FiredAt("*"); got != 1 {
+		t.Fatalf("FiredAt(*) = %d, want 1", got)
+	}
+}
+
+func TestUnarmedInjectorNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if err := in.Hook("x"); err != nil {
+			t.Fatalf("unarmed injector fired: %v", err)
+		}
+	}
+	if n := in.FiredAt("*"); n != 0 {
+		t.Fatalf("fired %d faults with no rules", n)
+	}
+}
+
+func TestClampLP(t *testing.T) {
+	o := ClampLP(lp.Options{}, 3)
+	if o.MaxIter != 3 {
+		t.Fatalf("MaxIter = %d, want 3", o.MaxIter)
+	}
+	o = ClampLP(lp.Options{MaxIter: 2}, 3)
+	if o.MaxIter != 2 {
+		t.Fatalf("tighter caller budget overridden: MaxIter = %d, want 2", o.MaxIter)
+	}
+}
+
+func TestPoison(t *testing.T) {
+	vals := make([]float64, 500)
+	n := New(11).Poison("obj", vals, 0.1)
+	if n == 0 {
+		t.Fatal("rate 0.1 over 500 entries poisoned nothing")
+	}
+	bad := 0
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad++
+		}
+	}
+	if bad != n {
+		t.Fatalf("reported %d poisoned, found %d", n, bad)
+	}
+	// Deterministic replay.
+	vals2 := make([]float64, 500)
+	if n2 := New(11).Poison("obj", vals2, 0.1); n2 != n {
+		t.Fatalf("replay poisoned %d, want %d", n2, n)
+	}
+}
+
+// TestInjectorDrivesLPSolver closes the loop: the hook wired into
+// lp.Options aborts a real solve with the injected error.
+func TestInjectorDrivesLPSolver(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddVariable("x", -1, 10)
+	y := p.AddVariable("y", -1, 10)
+	p.AddConstraint(lp.Constraint{
+		Coefs: []lp.Coef{{Var: x, Value: 1}, {Var: y, Value: 1}},
+		Sense: lp.LE, RHS: 5,
+	})
+
+	in := New(3).Arm("lp.enter", Error, 1)
+	_, err := p.SolveOpts(lp.Options{Hook: in.Hook, CheckEvery: 1})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	var se *lp.SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *lp.SolveError", err)
+	}
+
+	// Cancel kind surfaces as a cancellation status, not an error.
+	in2 := New(3).Arm("lp.enter", Cancel, 1)
+	sol, err := p.SolveOpts(lp.Options{Hook: in2.Hook, CheckEvery: 1})
+	if err != nil || sol.Status != lp.Canceled {
+		t.Fatalf("cancel injection: sol=%+v err=%v, want status Canceled", sol, err)
+	}
+}

@@ -70,8 +70,11 @@ const (
 // dense tableau form: a holds B⁻¹A for all columns, rhs holds the basic
 // variable *values* (already adjusted for nonbasic-at-upper offsets).
 type boundedTableau struct {
-	tol       float64
-	skipDuals bool
+	tol        float64
+	skipDuals  bool
+	forceBland bool
+	g          *guard
+	p          *Problem
 
 	n      int // structural variables
 	m      int // rows (user constraints only)
@@ -92,18 +95,21 @@ type boundedTableau struct {
 
 // solveBounded is the entry point used by Problem.SolveOpts for
 // MethodBounded.
-func solveBounded(p *Problem, opts Options) (*Solution, error) {
+func solveBounded(p *Problem, opts Options, g *guard) (*Solution, error) {
 	t := newBoundedTableau(p, opts)
+	t.g = g
 	st := t.run()
 	switch st {
-	case Infeasible, Unbounded, IterationLimit:
+	case statusAborted:
+		return nil, p.solveErr("lp.pivot", Optimal, t.iters, g.err)
+	case Infeasible, Unbounded, IterationLimit, Canceled, DeadlineExceeded:
 		return &Solution{Status: st, Iterations: t.iters}, nil
 	}
 	return t.extract(p)
 }
 
 func newBoundedTableau(p *Problem, opts Options) *boundedTableau {
-	t := &boundedTableau{tol: opts.tol(), skipDuals: opts.SkipDuals}
+	t := &boundedTableau{tol: opts.tol(), skipDuals: opts.SkipDuals, forceBland: opts.ForceBland, p: p}
 	t.n = len(p.obj)
 	t.m = len(p.rows)
 
@@ -250,10 +256,15 @@ func (t *boundedTableau) value(j int) float64 {
 
 // simplex runs bounded-variable pivots minimizing c over the current state.
 func (t *boundedTableau) simplex(c []float64) Status {
-	bland := false
+	bland := t.forceBland
 	noProgress := 0
 	lastObj := math.Inf(1)
 	for t.iters < t.max {
+		if t.g.due(t.iters) {
+			if st, stop := t.g.at("lp.pivot"); stop {
+				return st
+			}
+		}
 		// Objective for progress tracking.
 		obj := 0.0
 		for j := 0; j < t.nTotal; j++ {
@@ -471,7 +482,7 @@ func (t *boundedTableau) extract(p *Problem) (*Solution, error) {
 	}
 	y, ok := solveDense(bt)
 	if !ok {
-		return nil, errSingularBasis
+		return nil, p.solveErr("dual-extraction", Optimal, t.iters, ErrSingularBasis)
 	}
 	for i, row := range p.rows {
 		d := y[i]

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -153,7 +154,7 @@ func TestMethodsAgree(t *testing.T) {
 		if (err1 == nil) != (err2 == nil) {
 			// Dual extraction may fail on redundant rows in one method
 			// but not the other; tolerate only that asymmetry.
-			return err1 == errSingularBasis || err2 == errSingularBasis
+			return errors.Is(err1, ErrSingularBasis) || errors.Is(err2, ErrSingularBasis)
 		}
 		if err1 != nil {
 			return true

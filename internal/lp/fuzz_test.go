@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -59,6 +60,70 @@ func FuzzSolveAgreement(f *testing.F) {
 		scale := 1 + math.Abs(r1.Objective)
 		if math.Abs(r1.Objective-r2.Objective) > 1e-5*scale {
 			t.Fatalf("objective mismatch: %v vs %v", r1.Objective, r2.Objective)
+		}
+	})
+}
+
+// FuzzHostileInputs builds LPs whose numeric fields are corrupted with
+// NaN/±Inf at fuzzer-chosen positions and checks the failure semantics:
+// no panic escapes, corrupted problems are rejected with ErrBadProblem,
+// and accepted problems terminate with a well-defined status.
+func FuzzHostileInputs(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(2), uint8(0b101))
+	f.Add(uint64(9), uint8(5), uint8(4), uint8(0xFF))
+	f.Add(uint64(3), uint8(2), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, nvRaw, ncRaw, poison uint8) {
+		nv := 1 + int(nvRaw)%6
+		nc := int(ncRaw) % 5
+		rs := rng.New(seed)
+		hostile := [3]float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+		pick := func(bit uint8, v float64) float64 {
+			if poison&bit != 0 && rs.Intn(3) == 0 {
+				return hostile[rs.Intn(3)]
+			}
+			return v
+		}
+		p := NewProblem()
+		corrupted := false
+		for j := 0; j < nv; j++ {
+			c := pick(1, (rs.Float64()-0.5)*8)
+			u := pick(2, rs.Float64()*12)
+			if math.IsNaN(c) || math.IsInf(c, 0) || math.IsNaN(u) || u < 0 {
+				corrupted = true
+			}
+			p.AddVariable("v", c, u)
+		}
+		for i := 0; i < nc; i++ {
+			var coefs []Coef
+			for j := 0; j < nv; j++ {
+				v := pick(4, (rs.Float64()-0.5)*6)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					corrupted = true
+				}
+				coefs = append(coefs, Coef{j, v})
+			}
+			rhs := pick(8, (rs.Float64()-0.5)*10)
+			if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+				corrupted = true
+			}
+			p.AddConstraint(Constraint{Coefs: coefs, Sense: Sense(rs.Intn(3)), RHS: rhs})
+		}
+		for _, m := range [2]Method{MethodRows, MethodBounded} {
+			sol, err := p.SolveOpts(Options{Method: m})
+			if corrupted {
+				if err == nil || !errors.Is(err, ErrBadProblem) {
+					t.Fatalf("method %v: corrupted problem accepted (err=%v)", m, err)
+				}
+				continue
+			}
+			if err != nil {
+				continue // reported error (e.g. singular basis), never a panic
+			}
+			switch sol.Status {
+			case Optimal, Infeasible, Unbounded, IterationLimit:
+			default:
+				t.Fatalf("method %v: unexpected status %v", m, sol.Status)
+			}
 		}
 	})
 }

@@ -21,6 +21,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -64,6 +65,13 @@ const (
 	Unbounded
 	// IterationLimit means the pivot limit was exhausted before optimality.
 	IterationLimit
+	// Canceled means Options.Ctx was canceled mid-solve.
+	Canceled
+	// DeadlineExceeded means Options.Ctx's deadline expired mid-solve.
+	DeadlineExceeded
+	// NodeLimit means a branch-and-bound node budget was exhausted before
+	// any integer-feasible incumbent was found (MILP only).
+	NodeLimit
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +85,12 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterationLimit:
 		return "iteration-limit"
+	case Canceled:
+		return "canceled"
+	case DeadlineExceeded:
+		return "deadline-exceeded"
+	case NodeLimit:
+		return "node-limit"
 	default:
 		return fmt.Sprintf("Status(%d)", int8(s))
 	}
@@ -104,6 +118,7 @@ type Constraint struct {
 // Problem is a linear program under construction. The zero value is an empty
 // minimization problem; add variables first, then constraints.
 type Problem struct {
+	name   string    // problem label for error attribution
 	obj    []float64 // cost per variable
 	upper  []float64 // upper bound per variable (may be +Inf)
 	names  []string  // variable names (debugging)
@@ -113,6 +128,13 @@ type Problem struct {
 
 // NewProblem returns an empty problem.
 func NewProblem() *Problem { return &Problem{} }
+
+// SetName labels the problem; the label is carried on every *SolveError so
+// failures in multi-actor runs are attributable to a specific solve.
+func (p *Problem) SetName(name string) { p.name = name }
+
+// Name returns the label set by SetName (empty by default).
+func (p *Problem) Name() string { return p.name }
 
 // AddVariable appends a variable with the given objective cost and upper
 // bound (use math.Inf(1) for none) and returns its index. Lower bounds are
@@ -191,6 +213,9 @@ type Solution struct {
 	BoundDuals []float64
 	// Iterations is the total number of simplex pivots performed.
 	Iterations int
+	// Fallbacks records resilience degradations applied by SolveResilient
+	// ("bland-restart: ...", ...). Empty for a clean first-attempt solve.
+	Fallbacks []string
 }
 
 // Options tunes the solver. The zero value selects defaults.
@@ -206,11 +231,22 @@ type Options struct {
 	// end up basic and the basis matrix is singular even though the
 	// primal optimum is exact.
 	SkipDuals bool
+	// Ctx, when non-nil, is checked on entry and every CheckEvery pivots;
+	// cancellation stops the solve with status Canceled or
+	// DeadlineExceeded (an already-expired context returns before any
+	// pivoting).
+	Ctx context.Context
+	// CheckEvery is the pivot interval between Ctx/Hook checkpoints
+	// (default 64).
+	CheckEvery int
+	// ForceBland starts pivoting under Bland's rule immediately instead
+	// of Dantzig's rule — slower but cycling-proof; used by the
+	// SolveResilient fallback chain.
+	ForceBland bool
+	// Hook is an optional fault-injection / instrumentation checkpoint;
+	// see the Hook type.
+	Hook Hook
 }
-
-// errSingularBasis is returned when dual extraction meets a numerically
-// singular basis (typically redundant equality rows).
-var errSingularBasis = errors.New("lp: singular basis during dual extraction")
 
 func (o Options) tol() float64 {
 	if o.Tol > 0 {
@@ -230,22 +266,49 @@ func (o Options) maxIter(m, n int) int {
 	return it
 }
 
+func (o Options) checkEvery() int {
+	if o.CheckEvery > 0 {
+		return o.CheckEvery
+	}
+	return 64
+}
+
 // Solve solves the problem with default options.
 func (p *Problem) Solve() (*Solution, error) { return p.SolveOpts(Options{}) }
 
-// SolveOpts solves the problem with explicit options.
-func (p *Problem) SolveOpts(opts Options) (*Solution, error) {
+// SolveOpts solves the problem with explicit options. Panics inside the
+// pivot loops are recovered and returned as a *SolveError; an expired
+// Options.Ctx returns a Canceled/DeadlineExceeded solution without pivoting.
+func (p *Problem) SolveOpts(opts Options) (sol *Solution, err error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	g := newGuard(opts)
+	if st, stop := g.at("lp.enter"); stop {
+		if st == statusAborted {
+			return nil, p.solveErr("lp.enter", Optimal, 0, g.err)
+		}
+		return &Solution{Status: st}, nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			sol, err = nil, p.solveErr("pivot-loop", Optimal, 0, fmt.Errorf("recovered panic: %v", r))
+		}
+	}()
 	if opts.Method.resolve(p) == MethodBounded {
-		return solveBounded(p, opts)
+		return solveBounded(p, opts, g)
 	}
 	t, err := newTableau(p, opts)
 	if err != nil {
 		return nil, err
 	}
+	t.g = g
 	return t.run()
+}
+
+// solveErr builds the structured error for a failed solve of p.
+func (p *Problem) solveErr(stage string, st Status, iters int, cause error) error {
+	return &SolveError{Problem: p.name, Stage: stage, Status: st, Iterations: iters, Err: cause}
 }
 
 func (p *Problem) validate() error {
@@ -302,6 +365,7 @@ type tableau struct {
 	cost  []float64 // phase-2 cost per column (0 for slack/art)
 	iters int
 	max   int
+	g     *guard
 }
 
 func newTableau(p *Problem, opts Options) (*tableau, error) {
@@ -421,8 +485,8 @@ func (t *tableau) run() (*Solution, error) {
 			}
 		}
 		st := t.simplex(c1, true)
-		if st == IterationLimit {
-			return &Solution{Status: IterationLimit, Iterations: t.iters}, nil
+		if st != Optimal {
+			return t.stopped("lp.phase1", st)
 		}
 		// Feasible iff artificial sum is ~0.
 		sum := 0.0
@@ -437,13 +501,20 @@ func (t *tableau) run() (*Solution, error) {
 		t.evictArtificials()
 	}
 	st := t.simplex(t.cost, false)
-	switch st {
-	case Unbounded:
-		return &Solution{Status: Unbounded, Iterations: t.iters}, nil
-	case IterationLimit:
-		return &Solution{Status: IterationLimit, Iterations: t.iters}, nil
+	if st != Optimal {
+		return t.stopped("lp.phase2", st)
 	}
 	return t.extract()
+}
+
+// stopped converts a non-optimal simplex exit status into the caller-facing
+// (Solution, error) pair: degradation statuses travel on the Solution,
+// hook-abort errors travel as a *SolveError.
+func (t *tableau) stopped(stage string, st Status) (*Solution, error) {
+	if st == statusAborted {
+		return nil, t.p.solveErr(stage, Optimal, t.iters, t.g.err)
+	}
+	return &Solution{Status: st, Iterations: t.iters}, nil
 }
 
 // feasTol is the (scale-aware) phase-1 feasibility threshold.
@@ -503,10 +574,15 @@ func (t *tableau) isArtificial(col int) bool {
 func (t *tableau) simplex(c []float64, phase1 bool) Status {
 	// Reduced costs are computed on demand: r_j = c_j − c_Bᵀ(B⁻¹A)_j,
 	// where the tableau columns already store B⁻¹A.
-	bland := false
+	bland := t.opts.ForceBland
 	noProgress := 0
 	lastObj := math.Inf(1)
 	for t.iters < t.max {
+		if t.g.due(t.iters) {
+			if st, stop := t.g.at("lp.pivot"); stop {
+				return st
+			}
+		}
 		// Current basic costs.
 		obj := 0.0
 		for i, bc := range t.basis {
@@ -627,9 +703,18 @@ func (t *tableau) extract() (*Solution, error) {
 	if t.opts.SkipDuals {
 		return sol, nil
 	}
+	if st, stop := t.g.at("lp.extract"); stop {
+		if st == statusAborted {
+			return nil, t.p.solveErr("lp.extract", Optimal, t.iters, t.g.err)
+		}
+		return &Solution{Status: st, Iterations: t.iters}, nil
+	}
 	y, err := t.duals()
 	if err != nil {
-		return nil, err
+		// Attribute the failure: multi-actor runs solve hundreds of
+		// near-identical LPs, and an unlabeled singular basis is
+		// undiagnosable.
+		return nil, t.p.solveErr("dual-extraction", Optimal, t.iters, err)
 	}
 	// Map standard-form duals back to user rows, undoing RHS normalization
 	// (rows whose RHS was negated have negated duals).

@@ -11,6 +11,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,6 +35,17 @@ type Options struct {
 	Tol float64
 	// LP forwards options to the relaxation solver.
 	LP lp.Options
+	// Ctx, when non-nil, is checked before the root solve and every
+	// CheckEvery nodes; cancellation stops the search with status
+	// Canceled or DeadlineExceeded, carrying the best incumbent found so
+	// far. It is also forwarded to relaxation solves when LP.Ctx is nil.
+	Ctx context.Context
+	// CheckEvery is the node interval between Ctx/Hook checkpoints
+	// (default 16).
+	CheckEvery int
+	// Hook is an optional fault-injection checkpoint invoked at site
+	// "milp.node"; semantics match lp.Hook.
+	Hook lp.Hook
 }
 
 func (o Options) maxNodes() int {
@@ -50,7 +62,17 @@ func (o Options) tol() float64 {
 	return 1e-6
 }
 
-// Solution is an optimal (or best-found) integer solution.
+func (o Options) checkEvery() int {
+	if o.CheckEvery > 0 {
+		return o.CheckEvery
+	}
+	return 16
+}
+
+// Solution is an optimal (or best-found) integer solution. Degraded
+// terminations keep partial results: on lp.NodeLimit or a cancellation
+// status (lp.Canceled / lp.DeadlineExceeded) the X/Objective fields carry
+// the best incumbent found so far when one exists, with Proven=false.
 type Solution struct {
 	Status    lp.Status
 	Objective float64
@@ -63,8 +85,30 @@ type Solution struct {
 }
 
 // ErrNoIncumbent is returned when the node limit is hit before any integer
-// feasible solution was found.
+// feasible solution was found. The accompanying Solution is non-nil and
+// carries Status lp.NodeLimit and the node count.
 var ErrNoIncumbent = errors.New("milp: node limit reached with no incumbent")
+
+// validate rejects structurally invalid MILP ingestion before it can poison
+// the branch-and-bound: a nil relaxation, binary indices referencing unknown
+// variables, or binary variables whose bounds leave {0,1} unreachable. All
+// failures wrap lp.ErrBadProblem.
+func validate(p Problem) error {
+	if p.LP == nil {
+		return fmt.Errorf("%w: milp: nil LP relaxation", lp.ErrBadProblem)
+	}
+	n := p.LP.NumVariables()
+	for _, v := range p.Binary {
+		if v < 0 || v >= n {
+			return fmt.Errorf("%w: milp: binary variable %d of %d", lp.ErrBadProblem, v, n)
+		}
+		if u := p.LP.Upper(v); math.IsNaN(u) || u > 1 {
+			return fmt.Errorf("%w: milp: binary variable %d (%s) has upper bound %v > 1",
+				lp.ErrBadProblem, v, p.LP.VariableName(v), u)
+		}
+	}
+	return nil
+}
 
 type node struct {
 	bound float64 // LP relaxation objective (lower bound for minimization)
@@ -81,8 +125,54 @@ func (q *nodePQ) Pop() any          { old := *q; n := old[len(old)-1]; *q = old[
 func (q nodePQ) Peek() *node        { return q[0] }
 
 // Solve minimizes the problem's objective over the mixed-binary domain.
+// Cancellation (via Options.Ctx) aborts between nodes, returning the best
+// incumbent found so far under a cancellation status; an already-expired
+// context returns before the root relaxation is solved.
 func Solve(p Problem, opts Options) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
 	tol := opts.tol()
+	lpOpts := opts.LP
+	if lpOpts.Ctx == nil {
+		lpOpts.Ctx = opts.Ctx
+	}
+
+	// partial assembles the degraded-termination solution around the best
+	// incumbent found so far (if any).
+	partial := func(st lp.Status, best *Solution, nodes int) *Solution {
+		if best == nil {
+			return &Solution{Status: st, Nodes: nodes}
+		}
+		out := *best
+		out.Status = st
+		out.Nodes = nodes
+		out.Proven = false
+		return &out
+	}
+
+	// checkpoint consults Ctx and Hook; a non-nil Status means stop.
+	name := p.LP.Name()
+	checkpoint := func(nodes int, best *Solution) (*Solution, error) {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return partial(cancelStatus(err), best, nodes), nil
+			}
+		}
+		if opts.Hook != nil {
+			if err := opts.Hook("milp.node"); err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return partial(cancelStatus(err), best, nodes), nil
+				}
+				return nil, &lp.SolveError{Problem: name, Stage: "milp.node",
+					Status: lp.Optimal, Iterations: nodes, Err: err}
+			}
+		}
+		return nil, nil
+	}
+	if sol, err := checkpoint(0, nil); sol != nil || err != nil {
+		return sol, err
+	}
 
 	solveRelax := func(fixed map[int]float64) (*lp.Solution, error) {
 		// Fix variables by equality rows appended to a scratch copy.
@@ -94,7 +184,7 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 				Name: fmt.Sprintf("fix:%d", v),
 			})
 		}
-		return scratch.SolveOpts(opts.LP)
+		return scratch.SolveOpts(lpOpts)
 	}
 
 	root := &node{fixed: map[int]float64{}}
@@ -109,6 +199,8 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 		return &Solution{Status: lp.Unbounded, Nodes: 1}, nil
 	case lp.IterationLimit:
 		return &Solution{Status: lp.IterationLimit, Nodes: 1}, nil
+	case lp.Canceled, lp.DeadlineExceeded:
+		return &Solution{Status: rootSol.Status, Nodes: 1}, nil
 	}
 	root.bound = rootSol.Objective
 
@@ -120,6 +212,11 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 	relaxCache := map[*node]*lp.Solution{root: rootSol}
 
 	for pq.Len() > 0 && nodes < opts.maxNodes() {
+		if nodes%opts.checkEvery() == 0 {
+			if sol, err := checkpoint(nodes, best); sol != nil || err != nil {
+				return sol, err
+			}
+		}
 		n := heap.Pop(&pq).(*node)
 		nodes++
 		if best != nil && n.bound >= best.Objective-1e-12 {
@@ -131,6 +228,9 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 			sol, err = solveRelax(n.fixed)
 			if err != nil {
 				return nil, err
+			}
+			if lp.IsCancellation(sol.Status) {
+				return partial(sol.Status, best, nodes), nil
 			}
 			if sol.Status != lp.Optimal {
 				continue
@@ -170,6 +270,9 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 			if err != nil {
 				return nil, err
 			}
+			if lp.IsCancellation(cs.Status) {
+				return partial(cs.Status, best, nodes), nil
+			}
 			if cs.Status != lp.Optimal {
 				continue
 			}
@@ -184,13 +287,23 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 
 	if best == nil {
 		if nodes >= opts.maxNodes() {
-			return nil, ErrNoIncumbent
+			// Degraded, not fatal: callers get the node count and a
+			// NodeLimit status alongside the sentinel error.
+			return &Solution{Status: lp.NodeLimit, Nodes: nodes}, ErrNoIncumbent
 		}
 		return &Solution{Status: lp.Infeasible, Nodes: nodes}, nil
 	}
 	best.Nodes = nodes
 	best.Proven = pq.Len() == 0 || pq.Peek().bound >= best.Objective-1e-12
 	return best, nil
+}
+
+// cancelStatus maps a context error to the matching lp cancellation status.
+func cancelStatus(err error) lp.Status {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return lp.DeadlineExceeded
+	}
+	return lp.Canceled
 }
 
 // cloneProblem deep-copies an lp.Problem through its public API.

@@ -17,6 +17,7 @@ package multiperiod
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"cpsguard/internal/graph"
 	"cpsguard/internal/impact"
@@ -104,13 +105,27 @@ func Dispatch(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	for i, p := range cfg.Periods {
-		if p.Weight <= 0 {
+		// NaN fails every comparison, so test weight validity positively.
+		if !(p.Weight > 0) || math.IsInf(p.Weight, 0) {
 			return nil, fmt.Errorf("%w: period %d weight %v", ErrBadHorizon, i, p.Weight)
+		}
+		for _, s := range [2]float64{p.demandScale(), p.supplyScale()} {
+			if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+				return nil, fmt.Errorf("%w: period %d scale %v", ErrBadHorizon, i, s)
+			}
 		}
 	}
 	for _, a := range cfg.Attacks {
 		if a.From < 0 || a.To >= len(cfg.Periods) || a.From > a.To {
 			return nil, fmt.Errorf("%w: attack range [%d,%d]", ErrBadHorizon, a.From, a.To)
+		}
+		if v := a.Perturbation.Value; math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: attack on %q with value %v", ErrBadHorizon, a.Perturbation.EdgeID, v)
+		}
+	}
+	for id, r := range cfg.Ramp {
+		if math.IsNaN(r) || math.IsInf(r, -1) || r < 0 {
+			return nil, fmt.Errorf("%w: ramp for %q is %v", ErrBadHorizon, id, r)
 		}
 	}
 
@@ -150,6 +165,7 @@ func Dispatch(cfg Config) (*Result, error) {
 	// Build the coupled LP: per-period flow/gen/load variables plus ramp
 	// rows between consecutive periods.
 	prob := lp.NewProblem()
+	prob.SetName(fmt.Sprintf("multiperiod[%d]", len(cfg.Periods)))
 	nT := len(cfg.Periods)
 	base := cfg.Graph
 	nE, nV := len(base.Edges), len(base.Vertices)
@@ -227,7 +243,7 @@ func Dispatch(cfg Config) (*Result, error) {
 		}
 	}
 
-	sol, err := prob.SolveOpts(cfg.LP)
+	sol, err := lp.SolveResilient(prob, cfg.LP)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestMapSettleNoFailFast(t *testing.T) {
+	bad := errors.New("bad trial")
+	results, errs, ctxErr := MapSettle(10, Options{Workers: 3},
+		func(ctx context.Context, i int) (int, error) {
+			if i%3 == 0 {
+				return 0, bad
+			}
+			return i * i, nil
+		})
+	if ctxErr != nil {
+		t.Fatalf("ctxErr = %v", ctxErr)
+	}
+	for i := 0; i < 10; i++ {
+		if i%3 == 0 {
+			if !errors.Is(errs[i], bad) {
+				t.Errorf("errs[%d] = %v, want bad", i, errs[i])
+			}
+		} else {
+			if errs[i] != nil || results[i] != i*i {
+				t.Errorf("task %d: result %d err %v, want %d nil", i, results[i], errs[i], i*i)
+			}
+		}
+	}
+}
+
+func TestMapSettlePanicsBecomeErrors(t *testing.T) {
+	_, errs, ctxErr := MapSettle(4, Options{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+	if ctxErr != nil {
+		t.Fatalf("ctxErr = %v", ctxErr)
+	}
+	if errs[2] == nil || !strings.Contains(errs[2].Error(), "kaboom") {
+		t.Fatalf("errs[2] = %v, want recovered panic", errs[2])
+	}
+	for i := range errs {
+		if i != 2 && errs[i] != nil {
+			t.Errorf("sibling %d failed: %v", i, errs[i])
+		}
+	}
+}
+
+func TestMapSettleCancellationSkipsUnscheduled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	_, errs, ctxErr := MapSettle(100, Options{Workers: 1, Context: ctx},
+		func(c context.Context, i int) (int, error) {
+			select {
+			case started <- struct{}{}:
+				cancel()
+			default:
+			}
+			return i, nil
+		})
+	if !errors.Is(ctxErr, context.Canceled) {
+		t.Fatalf("ctxErr = %v, want Canceled", ctxErr)
+	}
+	skipped := 0
+	for _, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no unscheduled task carries the context error")
+	}
+}
+
+func TestMapSettleEmpty(t *testing.T) {
+	results, errs, ctxErr := MapSettle(0, Options{},
+		func(ctx context.Context, i int) (int, error) { return 0, fmt.Errorf("never") })
+	if len(results) != 0 || len(errs) != 0 || ctxErr != nil {
+		t.Fatalf("empty settle: %v %v %v", results, errs, ctxErr)
+	}
+}

@@ -111,6 +111,77 @@ feed:
 	return results, err
 }
 
+// MapSettle runs fn(ctx, i) for i in [0,n) across a worker pool without the
+// fail-fast semantics of Map: one task's error (or panic, converted to an
+// error) does not cancel its siblings. Results and per-index errors are
+// returned in index order — errs[i] is non-nil iff task i failed — so
+// callers can count, log, and exclude failed trials instead of aborting a
+// whole Monte-Carlo run.
+//
+// The passed ctx is the pool's context: fn should thread it into solver
+// options so cancellation stops in-flight solves. When the context is
+// canceled, unscheduled tasks are skipped (their errs entry is the context
+// error) and the context error is also returned as ctxErr.
+func MapSettle[T any](n int, opts Options, fn func(ctx context.Context, i int) (T, error)) (results []T, errs []error, ctxErr error) {
+	results = make([]T, n)
+	errs = make([]error, n)
+	if n == 0 {
+		return results, errs, opts.ctx().Err()
+	}
+	ctx := opts.ctx()
+
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+						}
+					}()
+					v, err := fn(ctx, i)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					results[i] = v
+				}()
+			}
+		}()
+	}
+
+	next := 0
+feed:
+	for ; next < n; next++ {
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := next; i < n; i++ {
+			if errs[i] == nil {
+				errs[i] = err
+			}
+		}
+		return results, errs, err
+	}
+	return results, errs, nil
+}
+
 // ForEach is Map without per-task results.
 func ForEach(n int, opts Options, fn func(i int) error) error {
 	_, err := Map(n, opts, func(i int) (struct{}, error) {

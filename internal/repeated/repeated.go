@@ -15,6 +15,7 @@
 package repeated
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -47,6 +48,17 @@ type Config struct {
 	Collaborative bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Ctx, when non-nil, cancels the trajectory between rounds (and
+	// in-flight adversary searches); Play returns the context error with
+	// the rounds completed so far in Result.
+	Ctx context.Context
+	// ContinueOnError makes a failed round count and log instead of
+	// aborting the trajectory; the round is excluded from totals.
+	// Cancellation is never absorbed.
+	ContinueOnError bool
+	// Hook is an optional fault-injection checkpoint invoked at site
+	// "repeated.round" before each round.
+	Hook func(site string) error
 }
 
 func (c Config) smoothing() float64 {
@@ -75,6 +87,11 @@ type Result struct {
 	TotalAdversaryProfit float64
 	// TotalAverted sums averted damage over all rounds.
 	TotalAverted float64
+	// FailedRounds counts rounds skipped under Config.ContinueOnError.
+	FailedRounds int
+	// RoundErrors records the error of each failed round, keyed by round
+	// index (nil when no round failed).
+	RoundErrors map[int]error
 }
 
 // ErrBadConfig reports an invalid configuration.
@@ -98,7 +115,31 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 
 	res := &Result{}
 	alpha := cfg.smoothing()
-	for round := 0; round < cfg.Rounds; round++ {
+
+	// fail records a failed round under ContinueOnError, or aborts.
+	fail := func(round int, err error) error {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err // cancellation always aborts
+		}
+		if !cfg.ContinueOnError {
+			return fmt.Errorf("repeated: round %d: %w", round, err)
+		}
+		res.FailedRounds++
+		if res.RoundErrors == nil {
+			res.RoundErrors = map[int]error{}
+		}
+		res.RoundErrors[round] = err
+		return nil
+	}
+
+	// playOne runs one round; panics are recovered into errors so a
+	// single bad round can be skipped under ContinueOnError.
+	playOne := func(round int, pa map[string]float64, prevDefended map[string]bool) (r Round, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("repeated: round %d panicked: %v", round, rec)
+			}
+		}()
 		// --- Defenders invest based on history.
 		var defended map[string]bool
 		if cfg.Collaborative {
@@ -106,20 +147,20 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 			for _, a := range truth.Actors {
 				budgets[a] = cfg.DefenseBudgetPerActor
 			}
-			cinv, err := defense.PlanCollaborative(defense.CollaborativeConfig{
+			cinv, cerr := defense.PlanCollaborative(defense.CollaborativeConfig{
 				Matrix: truth, Ownership: s.Ownership,
 				AttackProb: defense.SharedAttackProb(truth, pa),
 				Costs:      costs, Budget: budgets,
 			})
-			if err != nil {
-				return nil, err
+			if cerr != nil {
+				return Round{}, cerr
 			}
 			defended = cinv.Defended
 		} else {
-			invs, err := defense.PlanAllIndependent(truth, s.Ownership, pa,
+			invs, ierr := defense.PlanAllIndependent(truth, s.Ownership, pa,
 				costs, cfg.DefenseBudgetPerActor)
-			if err != nil {
-				return nil, err
+			if ierr != nil {
+				return Round{}, ierr
 			}
 			defended = defense.Union(invs)
 		}
@@ -143,30 +184,54 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 				atkTargets = append(atkTargets, tt)
 			}
 		}
-		plan, err := adversary.Solve(adversary.Config{
+		plan, perr := adversary.SolveResilient(adversary.Config{
 			Matrix: view, Targets: atkTargets, Budget: cfg.AttackBudget,
+			Ctx: cfg.Ctx,
 		})
-		if err != nil {
-			return nil, err
+		if perr != nil {
+			return Round{}, perr
 		}
 
 		// --- Settle.
 		undef := adversary.Evaluate(plan, truth, targets, adversary.EvaluateOptions{})
 		got := adversary.Evaluate(plan, truth, targets,
 			adversary.EvaluateOptions{Defended: defended})
-		r := Round{
+		return Round{
 			Attacked:        plan.Targets,
 			Defended:        defended,
 			AdversaryProfit: got,
 			Averted:         undef - got,
+		}, nil
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return res, err
+			}
+		}
+		if cfg.Hook != nil {
+			if err := cfg.Hook("repeated.round"); err != nil {
+				if aerr := fail(round, err); aerr != nil {
+					return res, aerr
+				}
+				continue // skipped round: no learning update
+			}
+		}
+		r, err := playOne(round, pa, prevDefended)
+		if err != nil {
+			if aerr := fail(round, err); aerr != nil {
+				return res, aerr
+			}
+			continue
 		}
 		res.Rounds = append(res.Rounds, r)
-		res.TotalAdversaryProfit += got
+		res.TotalAdversaryProfit += r.AdversaryProfit
 		res.TotalAverted += r.Averted
 
 		// --- Defenders learn.
 		attackedSet := map[string]bool{}
-		for _, t := range plan.Targets {
+		for _, t := range r.Attacked {
 			attackedSet[t] = true
 		}
 		for _, t := range truth.Targets {
@@ -176,7 +241,7 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 			}
 			pa[t] = (1-alpha)*pa[t] + alpha*obs
 		}
-		prevDefended = defended
+		prevDefended = r.Defended
 	}
 	return res, nil
 }
