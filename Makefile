@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke clean
+.PHONY: ci vet build test race fuzz-smoke crash-resume clean
 
-ci: vet build race fuzz-smoke
+ci: vet build race fuzz-smoke crash-resume
 
 vet:
 	$(GO) vet ./...
@@ -23,5 +23,19 @@ fuzz-smoke:
 	$(GO) test ./internal/lp/ -run=^$$ -fuzz=FuzzHostileInputs -fuzztime=5s
 	$(GO) test ./internal/graph/ -run=^$$ -fuzz=FuzzUnmarshalValidate -fuzztime=5s
 
+# Crash-resume acceptance: a sweep killed mid-run and resumed from its
+# journal — including over a deliberately torn journal tail — must render
+# CSV byte-identical to an uninterrupted run.
+crash-resume:
+	$(GO) test ./internal/checkpoint/ -count=1
+	$(GO) test ./internal/experiments/ -run 'TestResume|TestRetries' -count=1
+	$(GO) test ./internal/repeated/ -run 'TestResume' -count=1
+
+# Remove build and scratch artifacts. The reference CSVs committed under
+# results/ are deliberately preserved: they are reviewed outputs, not
+# build products.
 clean:
 	$(GO) clean ./...
+	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen
+	find . -name '*.journal' -not -path './results/*' -delete
+	find . -name '*.test' -delete

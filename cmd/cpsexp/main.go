@@ -6,9 +6,18 @@
 //
 //	cpsexp [-fig 2|3|4|5|6|7|all] [-trials N] [-seed S]
 //	       [-mode graph|matrix] [-csv DIR] [-quick]
+//	       [-journal FILE] [-resume] [-retries N] [-trial-timeout D]
 //
 // -quick shrinks grids and trial counts for a fast smoke run; the default
 // configuration reproduces the shapes reported in EXPERIMENTS.md.
+//
+// With -journal, every trial outcome streams to an append-only crash-safe
+// journal as it settles; a run killed mid-sweep can be restarted with
+// -resume to replay the journaled trials and execute only the remainder,
+// producing output byte-identical to an uninterrupted run. -retries turns
+// on per-trial retry with capped backoff for transient solve errors, and
+// -trial-timeout arms a watchdog that flags and once requeues trials that
+// exceed the per-trial deadline.
 package main
 
 import (
@@ -19,6 +28,8 @@ import (
 	"path/filepath"
 	"time"
 
+	"cpsguard/internal/atomicio"
+	"cpsguard/internal/checkpoint"
 	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
 	"cpsguard/internal/experiments"
@@ -38,6 +49,10 @@ func main() {
 	chart := flag.Bool("chart", false, "also render each figure as an ASCII chart")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	faultRate := flag.Float64("max-fault-rate", 0, "tolerated fraction of failed trials per point (0 = strict)")
+	journal := flag.String("journal", "", "stream per-trial results to this crash-safe journal file")
+	resume := flag.Bool("resume", false, "replay completed trials from the -journal file and run only the remainder")
+	retries := flag.Int("retries", 0, "per-trial retries with capped backoff for transient solve errors")
+	trialTimeout := flag.Duration("trial-timeout", 0, "per-trial watchdog deadline; flagged trials are requeued once (0 = off)")
 	flag.Parse()
 
 	ctx, stop := cli.SignalContext(*timeout)
@@ -49,6 +64,39 @@ func main() {
 		Seed:     *seed,
 		Parallel: parallel.Options{Context: ctx},
 		Faults:   experiments.FaultPolicy{MaxFailureRate: *faultRate, Log: faultLog},
+	}
+	if *resume && *journal == "" {
+		log.Fatal("-resume requires -journal")
+	}
+	if *journal != "" || *retries > 0 || *trialTimeout > 0 {
+		sweep := &checkpoint.Sweep{
+			Retry:    checkpoint.Retrier{MaxRetries: *retries, Seed: *seed},
+			Watchdog: checkpoint.Watchdog{Deadline: *trialTimeout},
+		}
+		if *journal != "" {
+			var j *checkpoint.Journal
+			var rep *checkpoint.Replay
+			var err error
+			if *resume {
+				j, rep, err = checkpoint.Resume(*journal, checkpoint.Options{})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if rep.TruncatedBytes > 0 {
+					log.Printf("journal %s: truncated %d bytes of torn/corrupt tail", *journal, rep.TruncatedBytes)
+				}
+				log.Printf("journal %s: replaying %d completed trials", *journal, rep.Len())
+			} else {
+				j, err = checkpoint.Create(*journal, checkpoint.Options{})
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			defer j.Close()
+			sweep.Journal = j
+			sweep.Replay = rep
+		}
+		cfg.Sweep = sweep
 	}
 	if *mode == "matrix" {
 		cfg.NoiseMode = core.MatrixNoise
@@ -94,14 +142,21 @@ func main() {
 			fmt.Println(tb.Chart(72, 18))
 		}
 		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				log.Fatal(err)
-			}
+			// Atomic write into a directory created on demand: a killed
+			// run can never leave a half-written CSV.
 			path := filepath.Join(*csvDir, "fig"+f+".csv")
-			if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+			data := []byte(tb.CSV())
+			if err := atomicio.MkdirAllAndWrite(path, data, 0o644); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			log.Printf("wrote %s (%d bytes, crc32 %08x)", path, len(data), tb.Checksum())
+		}
+	}
+	if sweep := cfg.Sweep; sweep != nil && sweep.Journal != nil {
+		log.Printf("journal %s: %d trials executed, %d replayed, seq %d",
+			sweep.Journal.Path(), sweep.Executed(), sweep.Replayed(), sweep.Journal.Seq())
+		for _, id := range sweep.Flagged() {
+			log.Printf("watchdog flagged %s (exceeded %v; requeued)", id, *trialTimeout)
 		}
 	}
 	if n := len(faultLog.Failures()); n > 0 {

@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"cpsguard/internal/atomicio"
 	"cpsguard/internal/cli"
 	"cpsguard/internal/graph"
 	"cpsguard/internal/gridgen"
@@ -63,7 +64,9 @@ func main() {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	// Atomic write: a killed cpsgen can never leave a half-written model
+	// that a downstream tool would ingest as truncated-but-valid JSON.
+	if err := atomicio.MkdirAllAndWrite(*out, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s: %s\n", *out, g)

@@ -1,0 +1,78 @@
+// Package atomicio provides crash-safe file writes: a file written through
+// WriteFile is either fully present with its final contents or absent/
+// untouched — never half-written. The sequence is the classic temp file in
+// the destination directory → write → fsync(file) → close → rename →
+// fsync(directory), which is atomic on POSIX filesystems because rename(2)
+// within a directory is atomic and the directory fsync persists the name.
+//
+// Every result artifact in this repository (CSV figures, JSON models, the
+// checkpoint journal's compacted segments) goes through this package so a
+// crash or SIGKILL mid-write can never leave a torn output that a later
+// consumer mistakes for a complete one.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temp file is created in
+// path's directory (rename across filesystems is not atomic), fsynced, and
+// renamed over path; the directory entry is then fsynced. On any error the
+// temp file is removed and path is left untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: fsync %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		tmpName = ""
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	tmpName = "" // renamed away; nothing to clean up
+	return syncDir(dir)
+}
+
+// MkdirAllAndWrite is WriteFile preceded by MkdirAll on the destination
+// directory, for callers writing into result trees that may not exist yet.
+func MkdirAllAndWrite(path string, data []byte, perm os.FileMode) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return WriteFile(path, data, perm)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Filesystems that refuse to fsync directories (some network mounts) are
+// tolerated: the rename itself already happened.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

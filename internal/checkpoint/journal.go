@@ -1,0 +1,311 @@
+// Package checkpoint makes long Monte-Carlo sweeps crash-safe. It has three
+// cooperating pieces:
+//
+//   - Journal: an append-only JSONL trial journal. Every completed (or
+//     failed) trial of a sweep is appended as one line carrying a sequence
+//     number and a CRC-32 so a process killed mid-write can never corrupt
+//     earlier records — at worst the final line is torn, and Resume
+//     truncates it away (via an atomic temp-file + fsync + rename rewrite)
+//     before replaying the valid prefix.
+//   - Retrier: capped exponential backoff with deterministic jitter and an
+//     injectable sleeper, so transient solve errors are retried per-trial
+//     before they count as failures.
+//   - Watchdog/Sweep: a per-trial deadline that flags overlong trials and
+//     requeues them once, and the Sweep bundle that the experiment runners
+//     thread through every trial (replay → retry → record).
+//
+// Trials are keyed by a deterministic TrialID (seed, experiment point,
+// trial index), and all trial randomness in this repository already derives
+// from those same coordinates, so a resumed sweep — replaying journaled
+// trials and re-running only the remainder — produces byte-identical output
+// to an uninterrupted run.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cpsguard/internal/atomicio"
+)
+
+// Record is one journaled trial outcome.
+type Record struct {
+	// Seq is the 1-based sequence number; Resume rejects (truncates at)
+	// any record whose Seq breaks the run 1,2,3,...
+	Seq uint64 `json:"seq"`
+	// ID is the deterministic trial ID (see TrialID).
+	ID string `json:"id"`
+	// OK distinguishes a completed trial from one that failed after
+	// exhausting its retries.
+	OK bool `json:"ok"`
+	// Value is the JSON-encoded trial result (nil for failed trials).
+	// Go's float64 encoding uses the shortest representation that parses
+	// back exactly, so numeric results round-trip bit-for-bit.
+	Value json.RawMessage `json:"value,omitempty"`
+	// Error is the failure message of a failed trial.
+	Error string `json:"error,omitempty"`
+}
+
+// envelope is the on-disk line format: the CRC-32 (IEEE) of the verbatim
+// Rec bytes, then the record itself. json.RawMessage preserves the exact
+// bytes on decode, so verification needs no re-marshalling.
+type envelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// Options configures a Journal.
+type Options struct {
+	// NoSync skips the per-append fsync. A kill can then lose recently
+	// appended records (they are re-run on resume) but still never
+	// corrupts the journal. Benchmarks and tests use it.
+	NoSync bool
+	// Hook, when non-nil, is consulted at sites "checkpoint.append" and
+	// "checkpoint.sync"; a returned error fails the operation.
+	// Fault-injection tests arm this.
+	Hook func(site string) error
+}
+
+// Journal is an append-only JSONL trial journal. Safe for concurrent use:
+// trials finishing on parallel workers append under an internal lock, each
+// record in a single write syscall followed (by default) by fsync.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seq  uint64
+	opts Options
+}
+
+// Create starts a fresh journal at path, truncating any existing file and
+// creating parent directories as needed.
+func Create(path string, opts Options) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Journal{f: f, path: path, opts: opts}, nil
+}
+
+// Resume opens an existing journal for appending after replaying its valid
+// prefix. A torn or corrupt tail — bad JSON, CRC mismatch, broken sequence
+// run, or a final line without a newline — is truncated away by atomically
+// rewriting the valid prefix (temp file + fsync + rename), never an error.
+// A missing file starts an empty journal, so `-resume` is safe on first
+// runs. The returned Replay answers "has this trial already run?".
+func Resume(path string, opts Options) (*Journal, *Replay, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		j, cerr := Create(path, opts)
+		return j, &Replay{records: map[string]Record{}}, cerr
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	rep, validLen := scan(data)
+	if validLen < len(data) {
+		rep.TruncatedBytes = len(data) - validLen
+		if err := atomicio.WriteFile(path, data[:validLen], 0o644); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Journal{f: f, path: path, seq: rep.lastSeq, opts: opts}, rep, nil
+}
+
+// Load replays a journal read-only (no truncation, no writer): the valid
+// prefix is returned and the corrupt tail, if any, only reported. Tools use
+// it to inspect a journal without mutating it.
+func Load(path string) (*Replay, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	rep, validLen := scan(data)
+	rep.TruncatedBytes = len(data) - validLen
+	return rep, nil
+}
+
+// scan parses the longest valid prefix of data and returns its replay plus
+// the prefix length in bytes.
+func scan(data []byte) (*Replay, int) {
+	rep := &Replay{records: map[string]Record{}}
+	valid := 0
+	offset := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 || nl > maxLine {
+			break // torn final line (no newline made it to disk) or garbage
+		}
+		line := data[offset : offset+nl]
+		rec, ok := decodeLine(line, rep.lastSeq+1)
+		if !ok {
+			break
+		}
+		rep.lastSeq = rec.Seq
+		if _, dup := rep.records[rec.ID]; !dup {
+			rep.order = append(rep.order, rec.ID)
+		}
+		rep.records[rec.ID] = rec
+		offset += nl + 1
+		valid = offset
+	}
+	return rep, valid
+}
+
+// decodeLine validates one journal line: JSON envelope, CRC over the
+// verbatim record bytes, record JSON, and the expected sequence number.
+func decodeLine(line []byte, wantSeq uint64) (Record, bool) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Record{}, false
+	}
+	if crc32.ChecksumIEEE(env.Rec) != env.CRC {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Rec, &rec); err != nil {
+		return Record{}, false
+	}
+	if rec.Seq != wantSeq || rec.ID == "" {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// maxLine bounds a single journal line (1 MiB — trial values here are a
+// handful of floats; anything bigger is corruption).
+const maxLine = 1 << 20
+
+// Append journals one trial outcome: value is JSON-encoded (pass nil for a
+// failed trial), the record gets the next sequence number and its CRC, and
+// the line is written in a single syscall then fsynced (unless NoSync).
+func (j *Journal) Append(id string, ok bool, value any, errMsg string) error {
+	if j == nil {
+		return nil
+	}
+	var raw json.RawMessage
+	if ok {
+		b, err := json.Marshal(value)
+		if err != nil {
+			return fmt.Errorf("checkpoint: encode trial %s: %w", id, err)
+		}
+		raw = b
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.opts.Hook != nil {
+		if err := j.opts.Hook("checkpoint.append"); err != nil {
+			return fmt.Errorf("checkpoint: append %s: %w", id, err)
+		}
+	}
+	rec := Record{Seq: j.seq + 1, ID: id, OK: ok, Value: raw, Error: errMsg}
+	recBytes, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode record %s: %w", id, err)
+	}
+	line, err := json.Marshal(envelope{CRC: crc32.ChecksumIEEE(recBytes), Rec: recBytes})
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode envelope %s: %w", id, err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: append %s: %w", id, err)
+	}
+	if !j.opts.NoSync {
+		if j.opts.Hook != nil {
+			if err := j.opts.Hook("checkpoint.sync"); err != nil {
+				return fmt.Errorf("checkpoint: sync %s: %w", id, err)
+			}
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: sync %s: %w", id, err)
+		}
+	}
+	j.seq = rec.Seq
+	return nil
+}
+
+// Seq reports the sequence number of the last appended record.
+func (j *Journal) Seq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Path reports the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close fsyncs and closes the journal file. Nil-safe.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	if !j.opts.NoSync {
+		j.f.Sync()
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Replay is the valid prefix of a resumed journal, indexed by trial ID.
+type Replay struct {
+	records map[string]Record
+	order   []string
+	lastSeq uint64
+	// TruncatedBytes counts the torn/corrupt tail bytes dropped by Resume
+	// (0 for a cleanly closed journal).
+	TruncatedBytes int
+}
+
+// Lookup returns the journaled record for a trial ID. Nil-safe.
+func (r *Replay) Lookup(id string) (Record, bool) {
+	if r == nil {
+		return Record{}, false
+	}
+	rec, ok := r.records[id]
+	return rec, ok
+}
+
+// Len reports the number of distinct journaled trials.
+func (r *Replay) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.records)
+}
+
+// IDs returns the journaled trial IDs in first-appearance order.
+func (r *Replay) IDs() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.order...)
+}
+

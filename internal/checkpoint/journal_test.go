@@ -1,0 +1,234 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cpsguard/internal/faultinject"
+)
+
+type val struct {
+	Gain float64 `json:"gain"`
+	Loss float64 `json:"loss"`
+}
+
+func writeJournal(t *testing.T, path string, n int) {
+	t.Helper()
+	j, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		id := TrialID(1, "fig2 n=4", i)
+		if err := j.Append(id, true, val{Gain: float64(i) + 0.125, Loss: -float64(i)}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	writeJournal(t, path, 5)
+
+	j, rep, err := Resume(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if rep.TruncatedBytes != 0 {
+		t.Fatalf("clean journal reported %d truncated bytes", rep.TruncatedBytes)
+	}
+	if rep.Len() != 5 {
+		t.Fatalf("replayed %d records, want 5", rep.Len())
+	}
+	for i := 0; i < 5; i++ {
+		rec, ok := rep.Lookup(TrialID(1, "fig2 n=4", i))
+		if !ok || !rec.OK {
+			t.Fatalf("trial %d missing or failed: %+v", i, rec)
+		}
+		var v val
+		if err := json.Unmarshal(rec.Value, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Gain != float64(i)+0.125 || v.Loss != -float64(i) {
+			t.Fatalf("trial %d decoded %+v", i, v)
+		}
+	}
+	// Appends after resume continue the sequence.
+	if err := j.Append("extra", true, val{}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if j.Seq() != 6 {
+		t.Fatalf("seq after resume+append = %d, want 6", j.Seq())
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	writeJournal(t, path, 4)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a torn record with no trailing newline.
+	in := faultinject.New(42)
+	torn := in.Tear("tail", []byte(`{"crc":123,"rec":{"seq":5,"id":"x","ok":true}}`+"\n"))
+	if err := os.WriteFile(path, append(append([]byte{}, clean...), torn...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, rep, err := Resume(path, Options{})
+	if err != nil {
+		t.Fatalf("torn tail must not fail resume: %v", err)
+	}
+	defer j.Close()
+	if rep.TruncatedBytes != len(torn) {
+		t.Fatalf("TruncatedBytes = %d, want %d", rep.TruncatedBytes, len(torn))
+	}
+	if rep.Len() != 4 {
+		t.Fatalf("replayed %d records, want 4", rep.Len())
+	}
+	// The file itself was rewritten back to the valid prefix.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(clean) {
+		t.Fatalf("file not truncated to valid prefix: %d vs %d bytes", len(got), len(clean))
+	}
+}
+
+func TestJournalCorruptMiddleTruncatesFromThere(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	writeJournal(t, path, 5)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	// Flip a byte inside record 3's payload: its CRC no longer matches.
+	bad := []byte(lines[2])
+	bad[len(bad)/2] ^= 0x20
+	lines[2] = string(bad)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, rep, err := Resume(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if rep.Len() != 2 {
+		t.Fatalf("replayed %d records, want 2 (everything after the corrupt record dropped)", rep.Len())
+	}
+	if rep.TruncatedBytes == 0 {
+		t.Fatal("corruption not reported as truncation")
+	}
+}
+
+func TestJournalSequenceBreakTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	writeJournal(t, path, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	// Drop line 2: line 3 now carries seq 3 after seq 1 — a broken run.
+	mangled := lines[0] + lines[2]
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Resume(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 1 {
+		t.Fatalf("replayed %d records, want 1", rep.Len())
+	}
+}
+
+func TestResumeMissingFileStartsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "dir", "sweep.journal")
+	j, rep, err := Resume(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if rep.Len() != 0 || rep.TruncatedBytes != 0 {
+		t.Fatalf("fresh resume replay = %d records, %d truncated", rep.Len(), rep.TruncatedBytes)
+	}
+	if err := j.Append("a", true, 1.5, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalFailedTrialRecorded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("bad", false, nil, "solver exploded"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	rep, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := rep.Lookup("bad")
+	if !ok || rec.OK || rec.Error != "solver exploded" {
+		t.Fatalf("failed record = %+v", rec)
+	}
+}
+
+func TestJournalAppendHookFault(t *testing.T) {
+	in := faultinject.New(7).Arm("checkpoint.append", faultinject.Error, 1)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := Create(path, Options{Hook: in.Hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append("a", true, 1.0, ""); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+}
+
+func TestJournalConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := Create(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.Append(TrialID(9, "concurrent", i), true, float64(i), ""); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+	rep, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 32 || rep.TruncatedBytes != 0 {
+		t.Fatalf("replayed %d records (%d truncated), want 32 clean", rep.Len(), rep.TruncatedBytes)
+	}
+}

@@ -1,0 +1,190 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock records requested sleeps without sleeping.
+type fakeClock struct {
+	slept []time.Duration
+}
+
+func (c *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	c.slept = append(c.slept, d)
+	return ctx.Err()
+}
+
+var errFlaky = errors.New("flaky")
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	clock := &fakeClock{}
+	r := Retrier{MaxRetries: 5, BaseDelay: 10 * time.Millisecond, Jitter: -1, Sleep: clock.sleep}
+	attempts := 0
+	v, err := Do(context.Background(), r, "trial", func() (int, error) {
+		attempts++
+		if attempts < 4 {
+			return 0, errFlaky
+		}
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+	// Backoff schedule without jitter: base, 2·base, 4·base.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(clock.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", clock.slept, want)
+	}
+	for i := range want {
+		if clock.slept[i] != want[i] {
+			t.Fatalf("slept[%d] = %v, want %v", i, clock.slept[i], want[i])
+		}
+	}
+}
+
+func TestRetryBackoffCap(t *testing.T) {
+	r := Retrier{BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond,
+		35 * time.Millisecond, 35 * time.Millisecond, 35 * time.Millisecond,
+	}
+	for a, w := range want {
+		if got := r.Backoff("k", a); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", a, got, w)
+		}
+	}
+}
+
+func TestRetryJitterBoundsAndDeterminism(t *testing.T) {
+	r := Retrier{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Hour, Jitter: 0.5, Seed: 11}
+	for a := 0; a < 8; a++ {
+		raw := 100 * time.Millisecond << uint(a)
+		d := r.Backoff("trial-x", a)
+		lo, hi := time.Duration(float64(raw)*0.75), time.Duration(float64(raw)*1.25)
+		if d < lo || d >= hi {
+			t.Fatalf("Backoff(%d) = %v outside jitter bounds [%v, %v)", a, d, lo, hi)
+		}
+		if d2 := r.Backoff("trial-x", a); d2 != d {
+			t.Fatalf("jitter not deterministic: %v vs %v", d, d2)
+		}
+	}
+	// Different keys decorrelate the schedule.
+	same := 0
+	for a := 0; a < 8; a++ {
+		if r.Backoff("trial-x", a) == r.Backoff("trial-y", a) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("jitter identical across keys; per-trial decorrelation is vacuous")
+	}
+}
+
+func TestRetryDefaultJitterOn(t *testing.T) {
+	r := Retrier{BaseDelay: 100 * time.Millisecond, Seed: 3}
+	varied := false
+	for a := 0; a < 4; a++ {
+		raw := 100 * time.Millisecond << uint(a)
+		if raw > r.maxDelay() {
+			raw = r.maxDelay()
+		}
+		if r.Backoff("k", a) != raw {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("zero-value Jitter produced an unjittered schedule")
+	}
+}
+
+func TestRetryNeverRetriesCancellation(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		clock := &fakeClock{}
+		r := Retrier{MaxRetries: 5, Sleep: clock.sleep}
+		attempts := 0
+		_, err := Do(context.Background(), r, "t", func() (int, error) {
+			attempts++
+			return 0, cause
+		})
+		if !errors.Is(err, cause) {
+			t.Fatalf("err = %v, want %v", err, cause)
+		}
+		if attempts != 1 || len(clock.slept) != 0 {
+			t.Fatalf("%v: attempts=%d slept=%v — cancellation was retried", cause, attempts, clock.slept)
+		}
+	}
+}
+
+func TestRetryWrappedCancellationNotRetried(t *testing.T) {
+	attempts := 0
+	r := Retrier{MaxRetries: 3, Sleep: (&fakeClock{}).sleep}
+	wrapped := errors.Join(errors.New("solve aborted"), context.Canceled)
+	_, err := Do(context.Background(), r, "t", func() (int, error) {
+		attempts++
+		return 0, wrapped
+	})
+	if attempts != 1 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("attempts=%d err=%v — wrapped cancellation was retried", attempts, err)
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	clock := &fakeClock{}
+	r := Retrier{MaxRetries: 2, Sleep: clock.sleep}
+	attempts := 0
+	_, err := Do(context.Background(), r, "t", func() (int, error) {
+		attempts++
+		return 0, errFlaky
+	})
+	if !errors.Is(err, errFlaky) || attempts != 3 {
+		t.Fatalf("attempts=%d err=%v, want 3 attempts ending in errFlaky", attempts, err)
+	}
+}
+
+func TestRetryContextCanceledBeforeAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Retrier{MaxRetries: 5, Sleep: (&fakeClock{}).sleep}
+	attempts := 0
+	_, err := Do(ctx, r, "t", func() (int, error) {
+		attempts++
+		return 0, errFlaky
+	})
+	if attempts != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("attempts=%d err=%v, want 0 attempts and Canceled", attempts, err)
+	}
+}
+
+func TestRetryCanceledMidBackoffSurfacesTrialError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Retrier{MaxRetries: 5, Sleep: func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}}
+	attempts := 0
+	_, err := Do(ctx, r, "t", func() (int, error) {
+		attempts++
+		return 0, errFlaky
+	})
+	if attempts != 1 || !errors.Is(err, errFlaky) {
+		t.Fatalf("attempts=%d err=%v", attempts, err)
+	}
+}
+
+func TestRetryZeroValueSingleAttempt(t *testing.T) {
+	attempts := 0
+	var r Retrier
+	_, err := Do(context.Background(), r, "t", func() (int, error) {
+		attempts++
+		return 0, errFlaky
+	})
+	if attempts != 1 || !errors.Is(err, errFlaky) {
+		t.Fatalf("zero-value Retrier: attempts=%d err=%v", attempts, err)
+	}
+}

@@ -1,0 +1,196 @@
+// Sweep: the bundle the experiment runners thread through every trial.
+// Each trial flows replay → (watchdog ∘ retry ∘ run) → record, so a resumed
+// sweep replays journaled trials instantly and re-runs only the remainder.
+package checkpoint
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TrialID keys a trial deterministically by (seed, experiment point, trial
+// index). The point label already encodes the figure and parameter
+// coordinates ("fig5 n=4 σ=0.2"), so the ID is stable across runs and
+// human-greppable in the journal.
+func TrialID(seed uint64, point string, trial int) string {
+	return fmt.Sprintf("s%x|%s|t%d", seed, point, trial)
+}
+
+// Watchdog flags trials that exceed a per-trial wall-clock deadline and
+// requeues them (default once) with a fresh deadline before they are
+// recorded as failures. The zero value is disabled.
+type Watchdog struct {
+	// Deadline is the per-attempt wall-clock budget (0 = no watchdog).
+	Deadline time.Duration
+	// Requeues is the number of fresh-deadline re-runs after a flagged
+	// timeout (default 1 when Deadline > 0).
+	Requeues int
+}
+
+func (w Watchdog) requeues() int {
+	if w.Requeues > 0 {
+		return w.Requeues
+	}
+	return 1
+}
+
+// ReplayedFailure is the error returned for a trial whose failure was
+// journaled in a previous run: the original error type is gone (only its
+// message survives serialization), so resumed accounting wraps it here.
+type ReplayedFailure struct {
+	ID  string
+	Msg string
+}
+
+// Error implements error.
+func (e *ReplayedFailure) Error() string {
+	return fmt.Sprintf("checkpoint: replayed failure %s: %s", e.ID, e.Msg)
+}
+
+// Sweep couples a journal and its replay with the per-trial retry and
+// watchdog policies. A nil Sweep is valid everywhere and means "run the
+// trial directly" — callers thread it unconditionally.
+type Sweep struct {
+	// Journal, when non-nil, records every trial outcome as it settles.
+	Journal *Journal
+	// Replay, when non-nil, short-circuits trials journaled by a
+	// previous run.
+	Replay *Replay
+	// Retry re-attempts transient trial errors before they are recorded.
+	Retry Retrier
+	// Watchdog bounds per-trial wall-clock time.
+	Watchdog Watchdog
+
+	mu       sync.Mutex
+	replayed int
+	executed int
+	flagged  []string
+}
+
+// Replayed reports how many trials were satisfied from the journal.
+func (s *Sweep) Replayed() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replayed
+}
+
+// Executed reports how many trials actually ran (were not replayed).
+func (s *Sweep) Executed() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.executed
+}
+
+// Flagged returns the IDs of trials the watchdog flagged for exceeding
+// their deadline (each was requeued before being allowed to fail).
+func (s *Sweep) Flagged() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.flagged...)
+}
+
+func (s *Sweep) noteReplayed() {
+	s.mu.Lock()
+	s.replayed++
+	s.mu.Unlock()
+}
+
+func (s *Sweep) noteExecuted() {
+	s.mu.Lock()
+	s.executed++
+	s.mu.Unlock()
+}
+
+func (s *Sweep) noteFlagged(id string) {
+	s.mu.Lock()
+	s.flagged = append(s.flagged, id)
+	s.mu.Unlock()
+}
+
+// RunTrial executes one trial under the sweep's policies:
+//
+//  1. A trial journaled by a previous run is replayed: its value decoded
+//     (or its failure rewrapped as *ReplayedFailure) without running fn.
+//  2. Otherwise fn runs under the watchdog deadline, transient errors
+//     retried per the Retrier; a deadline trip that was the watchdog's
+//     (not the parent context's) flags the trial and requeues it once
+//     with a fresh deadline.
+//  3. The outcome — success or post-retry failure — is appended to the
+//     journal before being returned, so a kill after this point never
+//     loses the trial. Cancellation is never journaled: an aborted trial
+//     must re-run on resume.
+//
+// A nil Sweep runs fn(ctx) directly.
+func RunTrial[T any](s *Sweep, ctx context.Context, id string, fn func(ctx context.Context) (T, error)) (T, error) {
+	var zero T
+	if s == nil {
+		return fn(ctx)
+	}
+	if rec, ok := s.Replay.Lookup(id); ok {
+		s.noteReplayed()
+		if !rec.OK {
+			return zero, &ReplayedFailure{ID: id, Msg: rec.Error}
+		}
+		var v T
+		if err := json.Unmarshal(rec.Value, &v); err != nil {
+			return zero, fmt.Errorf("checkpoint: decode replayed trial %s: %w", id, err)
+		}
+		return v, nil
+	}
+	s.noteExecuted()
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := 1
+	if s.Watchdog.Deadline > 0 {
+		attempts = 1 + s.Watchdog.requeues()
+	}
+	var v T
+	var err error
+	for a := 0; a < attempts; a++ {
+		v, err = Do(ctx, s.Retry, id, func() (T, error) {
+			actx := ctx
+			cancel := context.CancelFunc(func() {})
+			if s.Watchdog.Deadline > 0 {
+				actx, cancel = context.WithTimeout(ctx, s.Watchdog.Deadline)
+			}
+			defer cancel()
+			return fn(actx)
+		})
+		if err != nil && errors.Is(err, context.DeadlineExceeded) &&
+			ctx.Err() == nil && a < attempts-1 {
+			s.noteFlagged(id) // watchdog trip, not the caller's deadline
+			continue
+		}
+		break
+	}
+
+	// Never journal a cancellation: those trials must re-run on resume.
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return zero, err
+	}
+	if err != nil {
+		if jerr := s.Journal.Append(id, false, nil, err.Error()); jerr != nil {
+			return zero, jerr
+		}
+		return zero, err
+	}
+	if jerr := s.Journal.Append(id, true, v, ""); jerr != nil {
+		return zero, jerr
+	}
+	return v, nil
+}

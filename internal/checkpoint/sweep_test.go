@@ -1,0 +1,154 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunTrialNilSweep(t *testing.T) {
+	v, err := RunTrial(nil, context.Background(), "id", func(ctx context.Context) (int, error) {
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("RunTrial(nil) = %v, %v", v, err)
+	}
+}
+
+func TestRunTrialRecordsAndReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Sweep{Journal: j}
+	type out struct{ A, B float64 }
+	want := out{A: 1.0 / 3.0, B: -0.7}
+	ran := 0
+	run := func(s *Sweep) (out, error) {
+		return RunTrial(s, context.Background(), "t0", func(ctx context.Context) (out, error) {
+			ran++
+			return want, nil
+		})
+	}
+	if v, err := run(s); err != nil || v != want {
+		t.Fatalf("first run = %v, %v", v, err)
+	}
+	if _, err := RunTrial(s, context.Background(), "t1", func(ctx context.Context) (out, error) {
+		ran++
+		return out{}, errors.New("organic failure")
+	}); err == nil {
+		t.Fatal("failed trial returned nil error")
+	}
+	j.Close()
+	if ran != 2 || s.Executed() != 2 || s.Replayed() != 0 {
+		t.Fatalf("ran=%d executed=%d replayed=%d", ran, s.Executed(), s.Replayed())
+	}
+
+	// Resume: both trials replay without executing.
+	j2, rep, err := Resume(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	s2 := &Sweep{Journal: j2, Replay: rep}
+	v, err := run(s2)
+	if err != nil || v != want {
+		t.Fatalf("replayed run = %v, %v", v, err)
+	}
+	_, err = RunTrial(s2, context.Background(), "t1", func(ctx context.Context) (out, error) {
+		ran++
+		return out{}, nil
+	})
+	var rf *ReplayedFailure
+	if !errors.As(err, &rf) || rf.Msg != "organic failure" {
+		t.Fatalf("replayed failure = %v", err)
+	}
+	if ran != 2 || s2.Replayed() != 2 || s2.Executed() != 0 {
+		t.Fatalf("after replay: ran=%d replayed=%d executed=%d", ran, s2.Replayed(), s2.Executed())
+	}
+}
+
+func TestRunTrialRetriesTransientBeforeFailing(t *testing.T) {
+	s := &Sweep{Retry: Retrier{MaxRetries: 3, Sleep: (&fakeClock{}).sleep}}
+	attempts := 0
+	v, err := RunTrial(s, context.Background(), "t", func(ctx context.Context) (int, error) {
+		attempts++
+		if attempts < 3 {
+			return 0, errFlaky
+		}
+		return 9, nil
+	})
+	if err != nil || v != 9 || attempts != 3 {
+		t.Fatalf("v=%v err=%v attempts=%d", v, err, attempts)
+	}
+}
+
+func TestRunTrialWatchdogFlagsAndRequeues(t *testing.T) {
+	s := &Sweep{Watchdog: Watchdog{Deadline: 20 * time.Millisecond}}
+	attempt := 0
+	v, err := RunTrial(s, context.Background(), "slow", func(ctx context.Context) (int, error) {
+		attempt++
+		if attempt == 1 {
+			<-ctx.Done() // overruns the per-trial deadline
+			return 0, ctx.Err()
+		}
+		return 5, nil
+	})
+	if err != nil || v != 5 {
+		t.Fatalf("requeued trial = %v, %v", v, err)
+	}
+	if got := s.Flagged(); len(got) != 1 || got[0] != "slow" {
+		t.Fatalf("Flagged() = %v, want [slow]", got)
+	}
+}
+
+func TestRunTrialWatchdogRespectsParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Sweep{Watchdog: Watchdog{Deadline: time.Minute}}
+	attempt := 0
+	_, err := RunTrial(s, ctx, "t", func(tctx context.Context) (int, error) {
+		attempt++
+		cancel()
+		<-tctx.Done()
+		return 0, tctx.Err()
+	})
+	if attempt != 1 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("attempt=%d err=%v — parent cancellation was requeued", attempt, err)
+	}
+}
+
+func TestRunTrialNeverJournalsCancellation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Sweep{Journal: j}
+	_, err = RunTrial(s, context.Background(), "c", func(ctx context.Context) (int, error) {
+		return 0, context.Canceled
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	j.Close()
+	rep, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 0 {
+		t.Fatalf("canceled trial was journaled: %v", rep.IDs())
+	}
+}
+
+func TestTrialIDDeterministic(t *testing.T) {
+	a := TrialID(1, "fig5 n=4 σ=0.2", 3)
+	if b := TrialID(1, "fig5 n=4 σ=0.2", 3); a != b {
+		t.Fatalf("TrialID not deterministic: %q vs %q", a, b)
+	}
+	if TrialID(2, "fig5 n=4 σ=0.2", 3) == a || TrialID(1, "fig5 n=4 σ=0.2", 4) == a {
+		t.Fatal("TrialID does not separate seed/trial coordinates")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"cpsguard/internal/adversary"
+	"cpsguard/internal/checkpoint"
 	"cpsguard/internal/core"
 	"cpsguard/internal/graph"
 	"cpsguard/internal/parallel"
@@ -59,6 +60,14 @@ type Config struct {
 	// Faults governs per-trial failure tolerance (default: strict — any
 	// trial failure fails the experiment). See FaultPolicy.
 	Faults FaultPolicy
+	// Sweep, when non-nil, makes the sweep crash-safe: every trial
+	// outcome streams to the sweep's journal as it settles, trials
+	// journaled by a previous (interrupted) run are replayed instead of
+	// re-run, transient failures are retried with capped backoff, and
+	// overlong trials are flagged/requeued by the watchdog. Because each
+	// trial's randomness derives from its (seed, point, trial) key, a
+	// resumed figure is byte-identical to an uninterrupted one.
+	Sweep *checkpoint.Sweep
 }
 
 func (c Config) graph() *graph.Graph {
@@ -133,8 +142,10 @@ func Fig2(cfg Config) (*stats.Table, error) {
 	lossS := t.AddSeries("-loss")
 	netS := t.AddSeries("gain+loss")
 	for _, n := range cfg.actorGrid([]int{2, 4, 6, 8, 10, 12, 14, 16}) {
-		type gl struct{ gain, loss float64 }
-		vals, err := runTrials(fmt.Sprintf("fig2 n=%d", n), cfg.trials(), cfg.Parallel, cfg.Faults,
+		// Exported fields: trial values must survive the JSON round-trip
+		// through the checkpoint journal.
+		type gl struct{ Gain, Loss float64 }
+		vals, err := runTrials(cfg, fmt.Sprintf("fig2 n=%d", n),
 			func(ctx context.Context, trial int) (gl, error) {
 				s := cfg.scenarioFor(n, trial)
 				m, err := s.Truth()
@@ -149,9 +160,9 @@ func Fig2(cfg Config) (*stats.Table, error) {
 		}
 		var ga, la, na stats.Accumulator
 		for _, v := range vals {
-			ga.Add(v.gain)
-			la.Add(-v.loss)
-			na.Add(v.gain + v.loss)
+			ga.Add(v.Gain)
+			la.Add(-v.Loss)
+			na.Add(v.Gain + v.Loss)
 		}
 		gainS.Add(float64(n), ga.Mean(), ga.StdErr())
 		lossS.Add(float64(n), la.Mean(), la.StdErr())
@@ -177,8 +188,7 @@ func Fig3(cfg Config) (*stats.Table, error) {
 			scens[i] = cfg.scenarioFor(n, i)
 		}
 		for _, sigma := range cfg.sigmaGrid() {
-			mean, se, err := meanOfTrials(fmt.Sprintf("fig3 n=%d σ=%v", n, sigma),
-				cfg.trials(), cfg.Parallel, cfg.Faults,
+			mean, se, err := meanOfTrials(cfg, fmt.Sprintf("fig3 n=%d σ=%v", n, sigma),
 				func(ctx context.Context, trial int) (float64, error) {
 					s := scens[trial]
 					truth, err := s.Truth()
@@ -226,8 +236,8 @@ func Fig4(cfg Config) (*stats.Table, error) {
 		scens[i] = cfg.scenarioFor(n, i)
 	}
 	for _, sigma := range cfg.sigmaGrid() {
-		type pair struct{ ant, obs float64 }
-		vals, err := runTrials(fmt.Sprintf("fig4 σ=%v", sigma), cfg.trials(), cfg.Parallel, cfg.Faults,
+		type pair struct{ Ant, Obs float64 }
+		vals, err := runTrials(cfg, fmt.Sprintf("fig4 σ=%v", sigma),
 			func(ctx context.Context, trial int) (pair, error) {
 				s := scens[trial]
 				truth, err := s.Truth()
@@ -254,8 +264,8 @@ func Fig4(cfg Config) (*stats.Table, error) {
 		}
 		var aa, oa stats.Accumulator
 		for _, v := range vals {
-			aa.Add(v.ant)
-			oa.Add(v.obs)
+			aa.Add(v.Ant)
+			oa.Add(v.Obs)
 		}
 		antS.Add(sigma, aa.Mean(), aa.StdErr())
 		obsS.Add(sigma, oa.Mean(), oa.StdErr())
@@ -303,8 +313,7 @@ func Fig5(cfg Config) (*stats.Table, error) {
 			scens[i] = cfg.scenarioFor(n, i)
 		}
 		for _, sigma := range cfg.sigmaGrid() {
-			mean, se, err := meanOfTrials(fmt.Sprintf("fig5 n=%d σ=%v", n, sigma),
-				cfg.trials(), cfg.Parallel, cfg.Faults,
+			mean, se, err := meanOfTrials(cfg, fmt.Sprintf("fig5 n=%d σ=%v", n, sigma),
 				func(ctx context.Context, trial int) (float64, error) {
 					return defenseEffectiveness(ctx, scens[trial], cfg, sigma, n, false,
 						cfg.seed()^0xF15^uint64(trial)<<20^uint64(sigma*1000))
@@ -334,8 +343,8 @@ func Fig6(cfg Config) (*stats.Table, error) {
 		scens[i] = cfg.scenarioFor(n, i)
 	}
 	for _, sigma := range cfg.sigmaGrid() {
-		type pair struct{ ind, col float64 }
-		vals, err := runTrials(fmt.Sprintf("fig6 σ=%v", sigma), cfg.trials(), cfg.Parallel, cfg.Faults,
+		type pair struct{ Ind, Col float64 }
+		vals, err := runTrials(cfg, fmt.Sprintf("fig6 σ=%v", sigma),
 			func(ctx context.Context, trial int) (pair, error) {
 				seed := cfg.seed() ^ 0xF16 ^ uint64(trial)<<20 ^ uint64(sigma*1000)
 				ind, err := defenseEffectiveness(ctx, scens[trial], cfg, sigma, n, false, seed)
@@ -353,8 +362,8 @@ func Fig6(cfg Config) (*stats.Table, error) {
 		}
 		var ia, ca stats.Accumulator
 		for _, v := range vals {
-			ia.Add(v.ind)
-			ca.Add(v.col)
+			ia.Add(v.Ind)
+			ca.Add(v.Col)
 		}
 		indep.Add(sigma, ia.Mean(), ia.StdErr())
 		collab.Add(sigma, ca.Mean(), ca.StdErr())
@@ -381,8 +390,8 @@ func Fig7(cfg Config) (*stats.Table, error) {
 		for i := range scens {
 			scens[i] = cfg.scenarioFor(n, i)
 		}
-		type pair struct{ ind, col float64 }
-		vals, err := runTrials(fmt.Sprintf("fig7 n=%d", n), cfg.trials(), cfg.Parallel, cfg.Faults,
+		type pair struct{ Ind, Col float64 }
+		vals, err := runTrials(cfg, fmt.Sprintf("fig7 n=%d", n),
 			func(ctx context.Context, trial int) (pair, error) {
 				seed := cfg.seed() ^ 0xF17 ^ uint64(trial)<<20 ^ uint64(n)
 				ind, err := defenseEffectiveness(ctx, scens[trial], cfg, sigma, n, false, seed)
@@ -400,9 +409,9 @@ func Fig7(cfg Config) (*stats.Table, error) {
 		}
 		var ia, ca, ba stats.Accumulator
 		for _, v := range vals {
-			ia.Add(v.ind)
-			ca.Add(v.col)
-			ba.Add(v.col - v.ind)
+			ia.Add(v.Ind)
+			ca.Add(v.Col)
+			ba.Add(v.Col - v.Ind)
 		}
 		indep.Add(float64(n), ia.Mean(), ia.StdErr())
 		collab.Add(float64(n), ca.Mean(), ca.StdErr())

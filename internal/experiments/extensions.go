@@ -49,8 +49,8 @@ func BaselineComparison(cfg Config) (*stats.Table, error) {
 		scens[i] = cfg.scenarioFor(n, i)
 	}
 	for _, sigma := range cfg.sigmaGrid() {
-		type row struct{ ind, col, top, wtop float64 }
-		vals, err := runTrials(fmt.Sprintf("baseline σ=%v", sigma), cfg.trials(), cfg.Parallel, cfg.Faults,
+		type row struct{ Ind, Col, Top, Wtop float64 }
+		vals, err := runTrials(cfg, fmt.Sprintf("baseline σ=%v", sigma),
 			func(ctx context.Context, trial int) (row, error) {
 				s := scens[trial]
 				seed := cfg.seed() ^ 0xE41 ^ uint64(trial)<<20 ^ uint64(sigma*1000)
@@ -77,10 +77,10 @@ func BaselineComparison(cfg Config) (*stats.Table, error) {
 		}
 		var ia, ca, ta, wa stats.Accumulator
 		for _, v := range vals {
-			ia.Add(v.ind)
-			ca.Add(v.col)
-			ta.Add(v.top)
-			wa.Add(v.wtop)
+			ia.Add(v.Ind)
+			ca.Add(v.Col)
+			ta.Add(v.Top)
+			wa.Add(v.Wtop)
 		}
 		indep.Add(sigma, ia.Mean(), ia.StdErr())
 		collab.Add(sigma, ca.Mean(), ca.StdErr())
@@ -173,8 +173,8 @@ func Deception(cfg Config) (*stats.Table, error) {
 		ref[i] = adversary.Evaluate(plan, truth, s.Targets, adversary.EvaluateOptions{})
 	}
 	for _, sigma := range cfg.sigmaGrid() {
-		type row struct{ ant, obs, val float64 }
-		vals, err := runTrials(fmt.Sprintf("deception σ=%v", sigma), cfg.trials(), cfg.Parallel, cfg.Faults,
+		type row struct{ Ant, Obs, Val float64 }
+		vals, err := runTrials(cfg, fmt.Sprintf("deception σ=%v", sigma),
 			func(ctx context.Context, trial int) (row, error) {
 				s := scens[trial]
 				truth, err := s.Truth()
@@ -201,9 +201,9 @@ func Deception(cfg Config) (*stats.Table, error) {
 		}
 		var aa, oa, va stats.Accumulator
 		for _, v := range vals {
-			aa.Add(v.ant)
-			oa.Add(v.obs)
-			va.Add(v.val)
+			aa.Add(v.Ant)
+			oa.Add(v.Obs)
+			va.Add(v.Val)
 		}
 		antS.Add(sigma, aa.Mean(), aa.StdErr())
 		obsS.Add(sigma, oa.Mean(), oa.StdErr())
@@ -259,8 +259,8 @@ func AttackVectors(cfg Config) (*stats.Table, error) {
 	damageS := t.AddSeries("worst-case system damage")
 	vectors := StandardVectors()
 	for vi, vec := range vectors {
-		type row struct{ profit, damage float64 }
-		vals, err := runTrials(fmt.Sprintf("vectors %s", vec.Name), cfg.trials(), cfg.Parallel, cfg.Faults,
+		type row struct{ Profit, Damage float64 }
+		vals, err := runTrials(cfg, fmt.Sprintf("vectors %s", vec.Name),
 			func(ctx context.Context, trial int) (row, error) {
 				s := cfg.scenarioFor(n, trial)
 				an := &impact.Analysis{
@@ -308,8 +308,8 @@ func AttackVectors(cfg Config) (*stats.Table, error) {
 		}
 		var pa, da stats.Accumulator
 		for _, v := range vals {
-			pa.Add(v.profit)
-			da.Add(v.damage)
+			pa.Add(v.Profit)
+			da.Add(v.Damage)
 		}
 		profitS.Add(float64(vi), pa.Mean(), pa.StdErr())
 		damageS.Add(float64(vi), da.Mean(), da.StdErr())

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sync"
 
+	"cpsguard/internal/checkpoint"
 	"cpsguard/internal/parallel"
 )
 
@@ -93,21 +94,45 @@ func (l *FaultLog) FailureRate() float64 {
 	return float64(len(l.failures)) / float64(l.trials)
 }
 
-// runTrials runs fn for n trials under the policy and returns the results
-// of the trials that succeeded (order-preserving within survivors). A
-// canceled pool context aborts with the context error; otherwise failures
-// are counted against the policy's threshold and the call errors only when
-// the per-point failure rate exceeds it or every trial failed.
-func runTrials[T any](point string, n int, par parallel.Options, pol FaultPolicy,
+// runTrials runs fn for cfg.trials() trials under the fault policy and
+// returns the results of the trials that succeeded (order-preserving within
+// survivors). A canceled pool context aborts with the context error;
+// otherwise failures are counted against the policy's threshold and the
+// call errors only when the per-point failure rate exceeds it or every
+// trial failed.
+//
+// When cfg.Sweep is set, every trial is durable: its outcome streams to the
+// sweep's journal the moment it settles (so a killed process loses at most
+// in-flight trials), journaled trials replay instead of re-running,
+// transient errors are retried with backoff, and overlong trials are
+// flagged/requeued by the watchdog. Trial values must round-trip through
+// JSON (exported fields) for replay to be exact.
+func runTrials[T any](cfg Config, point string,
 	fn func(ctx context.Context, trial int) (T, error)) ([]T, error) {
+	n := cfg.trials()
+	pol := cfg.Faults
+	seed := cfg.seed()
 	wrapped := func(ctx context.Context, i int) (T, error) {
-		if pol.Hook != nil {
-			if err := pol.Hook("experiments.trial"); err != nil {
-				var zero T
-				return zero, err
+		id := checkpoint.TrialID(seed, point, i)
+		return checkpoint.RunTrial(cfg.Sweep, ctx, id, func(ctx context.Context) (T, error) {
+			if pol.Hook != nil {
+				if err := pol.Hook("experiments.trial"); err != nil {
+					var zero T
+					return zero, err
+				}
 			}
+			return fn(ctx, i)
+		})
+	}
+	// Per-trial accounting streams as each trial settles (it used to be
+	// batched after the whole point), chaining any caller-provided hook.
+	par := cfg.Parallel
+	chained := par.OnSettle
+	par.OnSettle = func(i int, err error) {
+		pol.Log.record(point, i, err)
+		if chained != nil {
+			chained(i, err)
 		}
-		return fn(ctx, i)
 	}
 	results, errs, ctxErr := parallel.MapSettle(n, par, wrapped)
 	if ctxErr != nil {
@@ -117,7 +142,6 @@ func runTrials[T any](point string, n int, par parallel.Options, pol FaultPolicy
 	failed := 0
 	var firstErr error
 	for i, err := range errs {
-		pol.Log.record(point, i, err)
 		if err != nil {
 			failed++
 			if firstErr == nil {
@@ -141,9 +165,9 @@ func runTrials[T any](point string, n int, par parallel.Options, pol FaultPolicy
 // meanOfTrials is runTrials followed by mean/standard-error aggregation
 // over the surviving trials — the fault-tolerant analogue of
 // parallel.MeanOf.
-func meanOfTrials(point string, n int, par parallel.Options, pol FaultPolicy,
+func meanOfTrials(cfg Config, point string,
 	fn func(ctx context.Context, trial int) (float64, error)) (mean, stderr float64, err error) {
-	vals, err := runTrials(point, n, par, pol, fn)
+	vals, err := runTrials(cfg, point, fn)
 	if err != nil {
 		return 0, 0, err
 	}

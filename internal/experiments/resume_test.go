@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cpsguard/internal/checkpoint"
+	"cpsguard/internal/core"
+	"cpsguard/internal/faultinject"
+	"cpsguard/internal/parallel"
+)
+
+// resumeConfig is a quick Fig-2-scale configuration (12 trials over two
+// actor counts).
+func resumeConfig() Config {
+	return Config{
+		Trials:    6,
+		Seed:      21,
+		NoiseMode: core.MatrixNoise,
+		ActorGrid: []int{2, 4},
+		SigmaGrid: []float64{0, 0.2},
+		PaSamples: 4,
+	}
+}
+
+// TestResumeByteIdenticalAfterMidRunCancel is the acceptance check for the
+// crash-safe sweep: a Fig-2 run canceled mid-sweep leaves a journal of the
+// trials that settled; resuming from it replays those trials, executes only
+// the remainder, and renders CSV output byte-identical to an uninterrupted
+// run.
+func TestResumeByteIdenticalAfterMidRunCancel(t *testing.T) {
+	baseline, err := Fig2(resumeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.CSV()
+
+	// --- Interrupted run: cancel the pool after three trials settle.
+	path := filepath.Join(t.TempDir(), "fig2.journal")
+	j, err := checkpoint.Create(path, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	settled := 0
+	cfg := resumeConfig()
+	cfg.Sweep = &checkpoint.Sweep{Journal: j}
+	cfg.Parallel = parallel.Options{
+		Context: ctx,
+		Workers: 2,
+		OnSettle: func(i int, err error) {
+			mu.Lock()
+			settled++
+			if settled == 3 {
+				cancel()
+			}
+			mu.Unlock()
+		},
+	}
+	if _, err := Fig2(cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run err = %v, want Canceled", err)
+	}
+	j.Close()
+
+	// --- Resume: replay the journal, run the remainder.
+	j2, rep, err := checkpoint.Resume(path, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rep.Len() == 0 {
+		t.Fatal("interrupted run journaled nothing; resume test is vacuous")
+	}
+	if rep.Len() >= 12 {
+		t.Fatalf("journal has %d records — the cancel fired too late to test resume", rep.Len())
+	}
+	cfg2 := resumeConfig()
+	sweep := &checkpoint.Sweep{Journal: j2, Replay: rep}
+	cfg2.Sweep = sweep
+	resumed, err := Fig2(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.CSV(); got != want {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	if sweep.Replayed() != rep.Len() {
+		t.Fatalf("replayed %d trials, journal had %d", sweep.Replayed(), rep.Len())
+	}
+	if sweep.Executed() != 12-rep.Len() {
+		t.Fatalf("executed %d trials, want %d", sweep.Executed(), 12-rep.Len())
+	}
+}
+
+// TestResumeTornJournalTail injects a torn final record (a crash mid-append)
+// into the journal of an interrupted run: Resume must truncate it, never
+// error, and the finished sweep must still match the uninterrupted CSV.
+func TestResumeTornJournalTail(t *testing.T) {
+	baseline, err := Fig2(resumeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.CSV()
+
+	// Complete run with a journal, then tear its final record.
+	path := filepath.Join(t.TempDir(), "fig2.journal")
+	j, err := checkpoint.Create(path, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := resumeConfig()
+	cfg.Sweep = &checkpoint.Sweep{Journal: j}
+	if _, err := Fig2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faultinject.New(77)
+	torn := in.Tear("journal-tail", data) // keep only a deterministic prefix
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep, err := checkpoint.Resume(path, checkpoint.Options{})
+	if err != nil {
+		t.Fatalf("resume over torn tail: %v", err)
+	}
+	defer j2.Close()
+	cfg2 := resumeConfig()
+	sweep := &checkpoint.Sweep{Journal: j2, Replay: rep}
+	cfg2.Sweep = sweep
+	resumed, err := Fig2(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.CSV(); got != want {
+		t.Fatal("CSV after torn-tail resume differs from uninterrupted run")
+	}
+	if sweep.Executed() == 0 {
+		t.Fatal("torn tail dropped nothing; the tear was vacuous")
+	}
+}
+
+// TestResumeReplaysRecordedFailures: trials that failed (post-retry) in the
+// first run are journaled as failures and replayed as failures — the
+// injector is armed to fail *everything* in the resumed run, which must not
+// matter because no trial re-executes.
+func TestResumeReplaysRecordedFailures(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig2.journal")
+	j, err := checkpoint.Create(path, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faultinject.New(13).Arm("experiments.trial", faultinject.Error, 0.2)
+	log := &FaultLog{}
+	cfg := resumeConfig()
+	cfg.Faults = FaultPolicy{MaxFailureRate: 0.9, Hook: in.Hook, Log: log}
+	cfg.Sweep = &checkpoint.Sweep{Journal: j}
+	first, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if len(log.Failures()) == 0 {
+		t.Fatal("no injected failures; failure-replay test is vacuous")
+	}
+
+	j2, rep, err := checkpoint.Resume(path, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	log2 := &FaultLog{}
+	kill := faultinject.New(1).Arm("experiments.trial", faultinject.Error, 1)
+	cfg2 := resumeConfig()
+	cfg2.Faults = FaultPolicy{MaxFailureRate: 0.9, Hook: kill.Hook, Log: log2}
+	sweep := &checkpoint.Sweep{Journal: j2, Replay: rep}
+	cfg2.Sweep = sweep
+	second, err := Fig2(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CSV() != first.CSV() {
+		t.Fatal("resumed CSV differs despite full replay")
+	}
+	if sweep.Executed() != 0 {
+		t.Fatalf("%d trials re-executed; recorded failures were not replayed", sweep.Executed())
+	}
+	if kill.Calls("experiments.trial") != 0 {
+		t.Fatal("replayed trials consulted the injection hook")
+	}
+	if len(log2.Failures()) != len(log.Failures()) {
+		t.Fatalf("replayed failure count %d != original %d", len(log2.Failures()), len(log.Failures()))
+	}
+}
+
+// TestRetriesAbsorbTransientFaults: with per-trial retries armed, a hook
+// that fails the first two attempts no longer fails the sweep even under
+// the strict (zero-tolerance) fault policy.
+func TestRetriesAbsorbTransientFaults(t *testing.T) {
+	calls := 0
+	flaky := func(site string) error {
+		calls++
+		if calls <= 2 {
+			return faultinject.ErrInjected
+		}
+		return nil
+	}
+	cfg := resumeConfig()
+	cfg.Trials = 3
+	cfg.ActorGrid = []int{2}
+	cfg.Parallel = parallel.Options{Workers: 1} // deterministic call order
+	cfg.Faults = FaultPolicy{Hook: flaky}       // strict: any failure aborts
+
+	if _, err := Fig2(cfg); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("without retries err = %v, want injected failure", err)
+	}
+
+	calls = 0
+	cfg.Sweep = &checkpoint.Sweep{Retry: checkpoint.Retrier{
+		MaxRetries: 2,
+		Sleep:      func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}}
+	if _, err := Fig2(cfg); err != nil {
+		t.Fatalf("with retries: %v", err)
+	}
+}

@@ -24,6 +24,10 @@
 //     a solve's pivot budget so it terminates with lp.IterationLimit.
 //   - NaN/Inf poisoning: use Poison to corrupt numeric inputs before
 //     model ingestion, exercising validation and recovery.
+//   - Torn writes: use Tear to keep only a deterministic prefix of a
+//     record about to hit disk, simulating a crash mid-append; the
+//     checkpoint journal exposes sites "checkpoint.append" and
+//     "checkpoint.sync" for error injection on the write path itself.
 package faultinject
 
 import (
@@ -219,6 +223,23 @@ func ClampLP(opts lp.Options, maxIter int) lp.Options {
 		opts.MaxIter = maxIter
 	}
 	return opts
+}
+
+// Tear returns a deterministically chosen strict prefix of data — a torn
+// write. At least one trailing byte is dropped, so appending the result to
+// a file reproduces exactly what a crash between write(2) and completion
+// leaves behind. The cut point is a pure function of (seed, tag).
+func (in *Injector) Tear(tag string, data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte("tear:" + tag))
+	cut := 1 + rng.Derive(in.seed^h.Sum64(), 0).Intn(len(data))
+	if cut >= len(data) {
+		cut = len(data) - 1
+	}
+	return data[:cut]
 }
 
 // Poison corrupts values[i] to NaN or ±Inf with probability rate per entry,

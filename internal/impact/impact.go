@@ -188,10 +188,16 @@ func (m *Matrix) Column(target string) map[string]float64 {
 }
 
 // GainLoss sums the positive entries and the negative entries of the whole
-// matrix — the quantities plotted in the paper's Figure 2.
+// matrix — the quantities plotted in the paper's Figure 2. Iteration is in
+// sorted (actor, target) order, not map order: float addition is not
+// associative, so a map-order sum varies in the last ulp between runs,
+// which would break the bit-identical determinism the experiment harness
+// (and crash-safe resume) guarantees.
 func (m *Matrix) GainLoss() (gain, loss float64) {
-	for _, row := range m.IM {
-		for _, v := range row {
+	for _, a := range m.Actors {
+		row := m.IM[a]
+		for _, t := range m.Targets {
+			v := row[t]
 			if v > 0 {
 				gain += v
 			} else {

@@ -22,6 +22,13 @@ type Options struct {
 	Workers int
 	// Context cancels outstanding work early (default background).
 	Context context.Context
+	// OnSettle, when non-nil, is invoked by MapSettle from the worker
+	// goroutine as each executed task settles — before the full result
+	// slices are returned — so callers can stream results to durable
+	// storage or progress logs while later tasks are still running. It
+	// must be safe for concurrent invocation. Tasks skipped because the
+	// context fired before they were scheduled are not reported.
+	OnSettle func(i int, err error)
 }
 
 func (o Options) workers() int {
@@ -155,6 +162,9 @@ func MapSettle[T any](n int, opts Options, fn func(ctx context.Context, i int) (
 					}
 					results[i] = v
 				}()
+				if opts.OnSettle != nil {
+					opts.OnSettle(i, errs[i])
+				}
 			}
 		}()
 	}

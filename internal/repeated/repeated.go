@@ -59,6 +59,18 @@ type Config struct {
 	// Hook is an optional fault-injection checkpoint invoked at site
 	// "repeated.round" before each round.
 	Hook func(site string) error
+	// ResumeRounds seeds the trajectory with rounds already played — e.g.
+	// replayed from a checkpoint journal after a crash. They are folded
+	// into the result totals and the defenders' learning state exactly as
+	// if they had just been played, and play continues at round
+	// len(ResumeRounds). Because each round's randomness derives from
+	// (Seed, round), the resumed trajectory is identical to an
+	// uninterrupted one.
+	ResumeRounds []Round
+	// OnRound, when non-nil, is invoked after each newly played round
+	// settles (not for ResumeRounds) — wire it to a checkpoint journal to
+	// stream the trajectory to disk as it grows.
+	OnRound func(round int, r Round)
 }
 
 func (c Config) smoothing() float64 {
@@ -204,7 +216,37 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 		}, nil
 	}
 
-	for round := 0; round < cfg.Rounds; round++ {
+	// settle folds one played (or replayed) round into the totals and the
+	// defenders' learning state.
+	settle := func(r Round) {
+		res.Rounds = append(res.Rounds, r)
+		res.TotalAdversaryProfit += r.AdversaryProfit
+		res.TotalAverted += r.Averted
+
+		attackedSet := map[string]bool{}
+		for _, t := range r.Attacked {
+			attackedSet[t] = true
+		}
+		for _, t := range truth.Targets {
+			obs := 0.0
+			if attackedSet[t] {
+				obs = 1
+			}
+			pa[t] = (1-alpha)*pa[t] + alpha*obs
+		}
+		prevDefended = r.Defended
+	}
+
+	// Replay resumed rounds into the learning state before playing on.
+	start := len(cfg.ResumeRounds)
+	if start > cfg.Rounds {
+		start = cfg.Rounds
+	}
+	for _, r := range cfg.ResumeRounds[:start] {
+		settle(r)
+	}
+
+	for round := start; round < cfg.Rounds; round++ {
 		if cfg.Ctx != nil {
 			if err := cfg.Ctx.Err(); err != nil {
 				return res, err
@@ -225,23 +267,10 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 			}
 			continue
 		}
-		res.Rounds = append(res.Rounds, r)
-		res.TotalAdversaryProfit += r.AdversaryProfit
-		res.TotalAverted += r.Averted
-
-		// --- Defenders learn.
-		attackedSet := map[string]bool{}
-		for _, t := range r.Attacked {
-			attackedSet[t] = true
+		settle(r)
+		if cfg.OnRound != nil {
+			cfg.OnRound(round, r)
 		}
-		for _, t := range truth.Targets {
-			obs := 0.0
-			if attackedSet[t] {
-				obs = 1
-			}
-			pa[t] = (1-alpha)*pa[t] + alpha*obs
-		}
-		prevDefended = r.Defended
 	}
 	return res, nil
 }

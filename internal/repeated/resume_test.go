@@ -1,0 +1,149 @@
+package repeated
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cpsguard/internal/checkpoint"
+)
+
+// TestResumeMatchesUninterrupted: playing rounds 0..4, then resuming with
+// those five rounds and playing 5..9, must equal playing 0..9 straight
+// through — the learning state is rebuilt exactly from the replayed rounds.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	cfg := Config{Rounds: 10, AttackBudget: 1, DefenseBudgetPerActor: 2,
+		AttackerSigma: 0.3, AdaptiveAttacker: true, Smoothing: 0.5, Seed: 4}
+
+	full, err := Play(arena(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half := cfg
+	half.Rounds = 5
+	first, err := Play(arena(), half)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := cfg
+	resumed.ResumeRounds = first.Rounds
+	second, err := Play(arena(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(second.Rounds) != 10 {
+		t.Fatalf("resumed trajectory has %d rounds, want 10", len(second.Rounds))
+	}
+	if second.TotalAdversaryProfit != full.TotalAdversaryProfit ||
+		second.TotalAverted != full.TotalAverted {
+		t.Fatalf("resumed totals (%v, %v) != uninterrupted (%v, %v)",
+			second.TotalAdversaryProfit, second.TotalAverted,
+			full.TotalAdversaryProfit, full.TotalAverted)
+	}
+	if !reflect.DeepEqual(second.Rounds, full.Rounds) {
+		t.Fatal("resumed rounds differ from uninterrupted run")
+	}
+}
+
+// TestOnRoundStreamsNewRoundsOnly: the callback sees each freshly played
+// round (with its index) and never the resumed prefix.
+func TestOnRoundStreamsNewRoundsOnly(t *testing.T) {
+	cfg := Config{Rounds: 6, AttackBudget: 1, DefenseBudgetPerActor: 2, Seed: 3}
+	half := cfg
+	half.Rounds = 3
+	first, err := Play(arena(), half)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seen []int
+	resumed := cfg
+	resumed.ResumeRounds = first.Rounds
+	resumed.OnRound = func(round int, r Round) { seen = append(seen, round) }
+	if _, err := Play(arena(), resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seen, []int{3, 4, 5}) {
+		t.Fatalf("OnRound saw %v, want [3 4 5]", seen)
+	}
+}
+
+// TestRoundsJournalRoundTrip: streaming rounds into a checkpoint journal
+// and replaying them through ResumeRounds reproduces the uninterrupted
+// trajectory — the crash-safe path for the repeated game.
+func TestRoundsJournalRoundTrip(t *testing.T) {
+	cfg := Config{Rounds: 8, AttackBudget: 1, DefenseBudgetPerActor: 2,
+		Smoothing: 0.5, Seed: 11}
+	full, err := Play(arena(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First process: journal every round, "die" after round 4.
+	path := filepath.Join(t.TempDir(), "rounds.journal")
+	j, err := checkpoint.Create(path, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := cfg
+	partial.Rounds = 4
+	partial.OnRound = func(round int, r Round) {
+		if err := j.Append(fmt.Sprintf("round%d", round), true, r, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Play(arena(), partial); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Second process: replay the journal into ResumeRounds.
+	j2, rep, err := checkpoint.Resume(path, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var resumeRounds []Round
+	for _, id := range rep.IDs() {
+		rec, _ := rep.Lookup(id)
+		var r Round
+		if err := json.Unmarshal(rec.Value, &r); err != nil {
+			t.Fatal(err)
+		}
+		resumeRounds = append(resumeRounds, r)
+	}
+	resumed := cfg
+	resumed.ResumeRounds = resumeRounds
+	second, err := Play(arena(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second.Rounds, full.Rounds) {
+		t.Fatal("journal-resumed trajectory differs from uninterrupted run")
+	}
+}
+
+// TestResumeLongerThanRounds: a resume prefix at or beyond Rounds plays
+// nothing new and folds only the first Rounds entries.
+func TestResumeLongerThanRounds(t *testing.T) {
+	cfg := Config{Rounds: 4, AttackBudget: 1, DefenseBudgetPerActor: 2, Seed: 3}
+	full, err := Play(arena(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := cfg
+	over.Rounds = 2
+	over.ResumeRounds = full.Rounds // 4 rounds into a 2-round game
+	res, err := Play(arena(), over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(res.Rounds))
+	}
+}

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sort"
 	"strings"
@@ -217,6 +218,14 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// Checksum returns the CRC-32 (IEEE) of the table's CSV rendering — a
+// cheap fingerprint for "did this resumed sweep reproduce the
+// uninterrupted run byte-for-byte?" checks and for logging next to each
+// written figure.
+func (t *Table) Checksum() uint32 {
+	return crc32.ChecksumIEEE([]byte(t.CSV()))
 }
 
 func (t *Table) xlabel() string {

@@ -170,3 +170,18 @@ func TestSeriesYs(t *testing.T) {
 		t.Fatalf("Ys = %v", ys)
 	}
 }
+
+func TestChecksumFingerprintsCSV(t *testing.T) {
+	tb := &Table{Title: "t", XLabel: "x"}
+	s := tb.AddSeries("a")
+	s.Add(1, 2.5, 0.1)
+	s.Add(2, 3.5, 0.2)
+	c1 := tb.Checksum()
+	if c2 := tb.Checksum(); c2 != c1 {
+		t.Fatalf("Checksum not stable: %08x vs %08x", c1, c2)
+	}
+	s.Add(3, 4.5, 0.3)
+	if tb.Checksum() == c1 {
+		t.Fatal("Checksum did not change with the table contents")
+	}
+}
