@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke crash-resume clean
+.PHONY: ci vet build test race bench fuzz-smoke crash-resume clean
 
 ci: vet build race fuzz-smoke crash-resume
 
@@ -16,12 +16,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Solver-layer benchmark sweep with telemetry attribution: pairs ns/op with
+# the deterministic work counters (pivots, nodes, evaluations, appends) each
+# workload produced. Output is machine-readable for regression tracking.
+bench:
+	BENCH_OUT=BENCH_telemetry.json $(GO) test -run '^TestBenchTelemetry$$' -count=1 -v .
+
 # Short fuzz smoke: exercise each fuzz target briefly so regressions in the
 # hostile-input paths surface in CI without a long fuzzing budget.
 fuzz-smoke:
 	$(GO) test ./internal/lp/ -run=^$$ -fuzz=FuzzSolveAgreement -fuzztime=5s
 	$(GO) test ./internal/lp/ -run=^$$ -fuzz=FuzzHostileInputs -fuzztime=5s
 	$(GO) test ./internal/graph/ -run=^$$ -fuzz=FuzzUnmarshalValidate -fuzztime=5s
+	$(GO) test ./internal/checkpoint/ -run=^$$ -fuzz=FuzzReadJournal -fuzztime=5s
+	$(GO) test ./internal/milp/ -run=^$$ -fuzz=FuzzBranchAndBound -fuzztime=5s
 
 # Crash-resume acceptance: a sweep killed mid-run and resumed from its
 # journal — including over a deliberately torn journal tail — must render
@@ -36,6 +44,6 @@ crash-resume:
 # build products.
 clean:
 	$(GO) clean ./...
-	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen
+	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen BENCH_telemetry.json
 	find . -name '*.journal' -not -path './results/*' -delete
 	find . -name '*.test' -delete

@@ -1,0 +1,77 @@
+// Bench-with-telemetry harness: `make bench` runs TestBenchTelemetry with
+// BENCH_OUT set, which executes the solver-layer benchmarks programmatically
+// and pairs each timing with the telemetry counter deltas it produced
+// (pivots per LP solve, nodes per branch and bound, evaluations per SA
+// search, journal appends per trial). The result is a machine-readable
+// BENCH_telemetry.json for tracking cost regressions alongside work counts.
+package cpsguard
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"cpsguard/internal/atomicio"
+	"cpsguard/internal/telemetry"
+)
+
+// benchTelemetryEntry is one benchmark's timing plus the deterministic work
+// counters accumulated across all its iterations.
+type benchTelemetryEntry struct {
+	Iterations  int              `json:"iterations"`
+	NsPerOp     int64            `json:"ns_per_op"`
+	AllocsPerOp int64            `json:"allocs_per_op"`
+	BytesPerOp  int64            `json:"bytes_per_op"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
+}
+
+// TestBenchTelemetry is gated by BENCH_OUT: unset, it skips (so plain
+// `go test ./...` stays fast); set, it benchmarks the solver layer and
+// writes the JSON report to that path. The registry is reset around each
+// benchmark so counters attribute to exactly one workload.
+func TestBenchTelemetry(t *testing.T) {
+	out := os.Getenv("BENCH_OUT")
+	if out == "" {
+		t.Skip("set BENCH_OUT=path to run the telemetry benchmark sweep")
+	}
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"LPSolve", BenchmarkLPSolve},
+		{"MILPSolve", BenchmarkMILPSolve},
+		{"AdversaryResilient", BenchmarkAdversaryResilient},
+		{"ExperimentsTrial", BenchmarkExperimentsTrial},
+	}
+	reg := telemetry.Default()
+	report := make(map[string]benchTelemetryEntry, len(benches))
+	for _, bench := range benches {
+		reg.Reset()
+		r := testing.Benchmark(bench.fn)
+		snap := reg.Snapshot(telemetry.SnapshotOptions{})
+		counters := make(map[string]int64, len(snap.Counters))
+		for name, v := range snap.Counters {
+			if v != 0 {
+				counters[name] = v
+			}
+		}
+		report[bench.name] = benchTelemetryEntry{
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Counters:    counters,
+		}
+		t.Logf("%s: %d iter, %d ns/op, %d counters", bench.name, r.N, r.NsPerOp(), len(counters))
+	}
+	reg.Reset()
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := atomicio.MkdirAllAndWrite(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d bytes)", out, len(data))
+}

@@ -21,6 +21,7 @@ import (
 	"cpsguard/internal/gridgen"
 	"cpsguard/internal/impact"
 	"cpsguard/internal/lp"
+	"cpsguard/internal/milp"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
 	"cpsguard/internal/westgrid"
@@ -365,6 +366,115 @@ func BenchmarkScalingDispatch48(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := flow.Dispatch(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Solver-layer benchmarks (DESIGN.md §10): the units the telemetry
+// instruments meter, benchmarked directly so BENCH_telemetry.json can pair
+// ns/op with pivot/node counts.
+
+// benchLPProblem builds a representative dense LP: a transport-style
+// minimum-cost assignment with capacities, ~60 variables and ~28 rows.
+func benchLPProblem() *lp.Problem {
+	const src, dst = 6, 10
+	p := lp.NewProblem()
+	vars := make([][]int, src)
+	for i := 0; i < src; i++ {
+		vars[i] = make([]int, dst)
+		for j := 0; j < dst; j++ {
+			cost := float64((i*7+j*13)%11 + 1)
+			vars[i][j] = p.AddVariable("x", cost, 40)
+		}
+	}
+	for i := 0; i < src; i++ {
+		coefs := make([]lp.Coef, dst)
+		for j := 0; j < dst; j++ {
+			coefs[j] = lp.Coef{Var: vars[i][j], Value: 1}
+		}
+		p.AddConstraint(lp.Constraint{Coefs: coefs, Sense: lp.LE, RHS: 100})
+	}
+	for j := 0; j < dst; j++ {
+		coefs := make([]lp.Coef, src)
+		for i := 0; i < src; i++ {
+			coefs[i] = lp.Coef{Var: vars[i][j], Value: 1}
+		}
+		p.AddConstraint(lp.Constraint{Coefs: coefs, Sense: lp.GE, RHS: 30})
+	}
+	return p
+}
+
+// BenchmarkLPSolve measures one direct lp.Solve on the representative LP.
+func BenchmarkLPSolve(b *testing.B) {
+	p := benchLPProblem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := p.Solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+// BenchmarkMILPSolve measures branch and bound on a 14-binary knapsack-style
+// problem over the same LP engine.
+func BenchmarkMILPSolve(b *testing.B) {
+	prob := milp.Problem{LP: lp.NewProblem()}
+	for j := 0; j < 14; j++ {
+		v := prob.LP.AddVariable("x", -float64((j*17)%9+1), 1)
+		prob.Binary = append(prob.Binary, v)
+	}
+	coefs := make([]lp.Coef, 14)
+	for j := range coefs {
+		coefs[j] = lp.Coef{Var: j, Value: float64((j*5)%7 + 1)}
+	}
+	prob.LP.AddConstraint(lp.Constraint{Coefs: coefs, Sense: lp.LE, RHS: 18})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := milp.Solve(prob, milp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+// BenchmarkAdversaryResilient measures the production SA entry point (the
+// fallback-chain wrapper around the exact search) on the full instance.
+func BenchmarkAdversaryResilient(b *testing.B) {
+	cfg := adversaryBenchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adversary.SolveResilient(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentsTrial measures one full experiment trial — dispatch,
+// impact, Pa estimation, defense, and settlement — the unit the checkpoint
+// journal records.
+func BenchmarkExperimentsTrial(b *testing.B) {
+	g := westgrid.Build(westgrid.Options{Stress: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.NewScenario(g, 4, uint64(i))
+		_, err := core.PlayRound(s, core.GameConfig{
+			AttackBudget:          1,
+			DefenderSigma:         0.2,
+			SpeculatedSigma:       0.2,
+			DefenseBudgetPerActor: 3,
+			PaSamples:             4,
+			NoiseMode:             core.MatrixNoise,
+			Seed:                  uint64(i),
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

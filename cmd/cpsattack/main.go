@@ -11,7 +11,6 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 
 	"cpsguard/internal/adversary"
@@ -33,7 +32,11 @@ func main() {
 	ps := flag.Float64("ps", 1, "uniform attack success probability")
 	mode := flag.String("mode", "graph", "noise mode: graph (faithful) or matrix (fast)")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
+
+	stopDebug := cli.StartDebug(*debugAddr)
+	defer stopDebug()
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
@@ -71,24 +74,24 @@ func main() {
 	}
 	realized := adversary.Evaluate(plan, truth, s.Targets, adversary.EvaluateOptions{})
 
-	fmt.Printf("system: %s\n", g)
-	fmt.Printf("actors: %d (seed %d)   adversary noise σ=%.2f (%s mode)\n", *nActors, *seed, *sigma, nm)
-	fmt.Printf("budget: %.1f at cost %.1f per target (max %d targets)\n\n", *budget, *catk, int(*budget / *catk))
-	fmt.Printf("chosen targets (%d):\n", len(plan.Targets))
+	cli.MustPrintf("system: %s\n", g)
+	cli.MustPrintf("actors: %d (seed %d)   adversary noise σ=%.2f (%s mode)\n", *nActors, *seed, *sigma, nm)
+	cli.MustPrintf("budget: %.1f at cost %.1f per target (max %d targets)\n\n", *budget, *catk, int(*budget / *catk))
+	cli.MustPrintf("chosen targets (%d):\n", len(plan.Targets))
 	for _, t := range plan.Targets {
 		dw := truth.WelfareDelta[t]
-		fmt.Printf("  %-18s  system welfare impact %10.2f\n", t, dw)
+		cli.MustPrintf("  %-18s  system welfare impact %10.2f\n", t, dw)
 	}
-	fmt.Printf("\ncaptured actors (%d): %v\n", len(plan.Actors), plan.Actors)
-	fmt.Printf("\nanticipated profit: %12.2f\n", plan.Anticipated)
-	fmt.Printf("realized profit:    %12.2f   (ground truth)\n", realized)
+	cli.MustPrintf("\ncaptured actors (%d): %v\n", len(plan.Actors), plan.Actors)
+	cli.MustPrintf("\nanticipated profit: %12.2f\n", plan.Anticipated)
+	cli.MustPrintf("realized profit:    %12.2f   (ground truth)\n", realized)
 	if plan.Anticipated > 0 {
-		fmt.Printf("realization ratio:  %12.1f%%\n", 100*realized/plan.Anticipated)
+		cli.MustPrintf("realization ratio:  %12.1f%%\n", 100*realized/plan.Anticipated)
 	}
 	if !plan.Proven {
-		fmt.Println("(search node limit hit; plan is best-found, not proven optimal)")
+		cli.MustPrintln("(search node limit hit; plan is best-found, not proven optimal)")
 	}
 	for _, fb := range plan.Fallbacks {
-		fmt.Printf("(degraded: %s)\n", fb)
+		cli.MustPrintf("(degraded: %s)\n", fb)
 	}
 }

@@ -12,7 +12,6 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"sort"
 
@@ -73,24 +72,24 @@ func main() {
 	if *collab {
 		style = "collaborative"
 	}
-	fmt.Printf("system: %s\n", g)
-	fmt.Printf("actors: %d  defense: %s, budget %.1f total (%.2f per actor)\n",
+	cli.MustPrintf("system: %s\n", g)
+	cli.MustPrintf("actors: %d  defense: %s, budget %.1f total (%.2f per actor)\n",
 		*nActors, style, *defBudget, *defBudget/float64(*nActors))
-	fmt.Printf("noise: attacker σ=%.2f, defender σ=%.2f, speculated σ=%.2f\n\n",
+	cli.MustPrintf("noise: attacker σ=%.2f, defender σ=%.2f, speculated σ=%.2f\n\n",
 		*atkSigma, *defSigma, *specSigma)
 
-	fmt.Printf("adversary attacked (%d): %v\n", len(res.Plan.Targets), res.Plan.Targets)
-	fmt.Printf("adversary captured:      %v\n", res.Plan.Actors)
+	cli.MustPrintf("adversary attacked (%d): %v\n", len(res.Plan.Targets), res.Plan.Targets)
+	cli.MustPrintf("adversary captured:      %v\n", res.Plan.Actors)
 
 	defended := make([]string, 0, len(res.Defended))
 	for t := range res.Defended {
 		defended = append(defended, t)
 	}
 	sort.Strings(defended)
-	fmt.Printf("defenders protected (%d): %v  (spent %.2f)\n\n", len(defended), defended, res.DefenseSpent)
+	cli.MustPrintf("defenders protected (%d): %v  (spent %.2f)\n\n", len(defended), defended, res.DefenseSpent)
 
-	fmt.Printf("SA anticipated profit:          %12.2f\n", res.Anticipated)
-	fmt.Printf("SA realized (undefended):       %12.2f\n", res.RealizedUndefended)
-	fmt.Printf("SA realized (against defense):  %12.2f\n", res.RealizedDefended)
-	fmt.Printf("defense effectiveness:          %12.2f\n", res.Effectiveness)
+	cli.MustPrintf("SA anticipated profit:          %12.2f\n", res.Anticipated)
+	cli.MustPrintf("SA realized (undefended):       %12.2f\n", res.RealizedUndefended)
+	cli.MustPrintf("SA realized (against defense):  %12.2f\n", res.RealizedDefended)
+	cli.MustPrintf("defense effectiveness:          %12.2f\n", res.Effectiveness)
 }

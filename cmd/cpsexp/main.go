@@ -7,6 +7,7 @@
 //	cpsexp [-fig 2|3|4|5|6|7|all] [-trials N] [-seed S]
 //	       [-mode graph|matrix] [-csv DIR] [-quick]
 //	       [-journal FILE] [-resume] [-retries N] [-trial-timeout D]
+//	       [-metrics FILE] [-trace] [-debug-addr ADDR]
 //
 // -quick shrinks grids and trial counts for a fast smoke run; the default
 // configuration reproduces the shapes reported in EXPERIMENTS.md.
@@ -18,6 +19,13 @@
 // on per-trial retry with capped backoff for transient solve errors, and
 // -trial-timeout arms a watchdog that flags and once requeues trials that
 // exceed the per-trial deadline.
+//
+// -metrics dumps the telemetry snapshot (solver counters and logical-work
+// histograms — deterministic for a fixed seed and configuration) to a JSON
+// file at sweep end; -trace additionally collects per-solve span traces and
+// includes them plus the wall-clock timing histograms in the dump.
+// -debug-addr serves live /metrics, /debug/vars and /debug/pprof endpoints
+// while the sweep runs.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"cpsguard/internal/experiments"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/stats"
+	"cpsguard/internal/telemetry"
 )
 
 func main() {
@@ -53,7 +62,16 @@ func main() {
 	resume := flag.Bool("resume", false, "replay completed trials from the -journal file and run only the remainder")
 	retries := flag.Int("retries", 0, "per-trial retries with capped backoff for transient solve errors")
 	trialTimeout := flag.Duration("trial-timeout", 0, "per-trial watchdog deadline; flagged trials are requeued once (0 = off)")
+	metricsPath := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at sweep end")
+	trace := flag.Bool("trace", false, "collect per-solve span traces and include them (plus wall-clock timings) in -metrics")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *trace {
+		telemetry.Default().EnableTracing(true)
+	}
+	stopDebug := cli.StartDebug(*debugAddr)
+	defer stopDebug()
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
@@ -137,9 +155,9 @@ func main() {
 				fmt.Sprintf("%d/%d figures completed (interrupted in fig %s)", fi, len(order), f))
 			log.Fatalf("fig %s: %v", f, err)
 		}
-		fmt.Printf("%s\n(%.1fs)\n\n", tb.Render(), time.Since(start).Seconds())
+		cli.MustPrintf("%s\n(%.1fs)\n\n", tb.Render(), time.Since(start).Seconds())
 		if *chart {
-			fmt.Println(tb.Chart(72, 18))
+			cli.MustPrintln(tb.Chart(72, 18))
 		}
 		if *csvDir != "" {
 			// Atomic write into a directory created on demand: a killed
@@ -166,4 +184,5 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %s\n", f.Error())
 		}
 	}
+	cli.WriteMetrics(*metricsPath, *trace)
 }

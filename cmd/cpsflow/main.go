@@ -44,21 +44,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println(g)
-	fmt.Printf("social welfare: %.2f  demand served: %.1f / %.1f  (LP pivots: %d)\n\n",
+	cli.MustPrintln(g)
+	cli.MustPrintf("social welfare: %.2f  demand served: %.1f / %.1f  (LP pivots: %d)\n\n",
 		r.Welfare, r.Served(), g.TotalDemand(), r.Iterations)
 
-	fmt.Println("nodal prices (λ):")
+	cli.MustPrintln("nodal prices (λ):")
 	ids := make([]string, 0, len(r.Price))
 	for id := range r.Price {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		fmt.Printf("  %-20s %8.2f\n", id, r.Price[id])
+		cli.MustPrintf("  %-20s %8.2f\n", id, r.Price[id])
 	}
 
-	fmt.Println("\nnonzero flows:")
+	cli.MustPrintln("\nnonzero flows:")
 	eids := g.AssetIDs()
 	for _, id := range eids {
 		if f := r.Flow[id]; f > 1e-9 {
@@ -68,7 +68,7 @@ func main() {
 			if rent > 1e-9 {
 				mark = fmt.Sprintf("   (congested, rent %.2f)", rent)
 			}
-			fmt.Printf("  %-18s %8.1f / %-8.1f%s\n", id, f, e.Capacity, mark)
+			cli.MustPrintf("  %-18s %8.1f / %-8.1f%s\n", id, f, e.Capacity, mark)
 		}
 	}
 
@@ -78,7 +78,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nper-actor profits (%d actors, seed %d):\n", *nActors, *seed)
+		cli.MustPrintf("\nper-actor profits (%d actors, seed %d):\n", *nActors, *seed)
 		as := p
 		names := make([]string, 0, len(as))
 		for a := range as {
@@ -86,8 +86,8 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, a := range names {
-			fmt.Printf("  %-8s %12.2f  (%d assets)\n", a, as[a], len(o.Assets(a)))
+			cli.MustPrintf("  %-8s %12.2f  (%d assets)\n", a, as[a], len(o.Assets(a)))
 		}
-		fmt.Printf("  %-8s %12.2f  (= welfare)\n", "total", p.Total())
+		cli.MustPrintf("  %-8s %12.2f  (= welfare)\n", "total", p.Total())
 	}
 }

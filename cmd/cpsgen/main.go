@@ -61,7 +61,7 @@ func main() {
 		data = append(data, '\n')
 	}
 	if *out == "" {
-		os.Stdout.Write(data)
+		cli.MustWrite(os.Stdout, "stdout", data)
 		return
 	}
 	// Atomic write: a killed cpsgen can never leave a half-written model

@@ -1,0 +1,90 @@
+package cpsguard
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cpsguard/internal/core"
+	"cpsguard/internal/experiments"
+	"cpsguard/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from current output")
+
+// goldenCfg is a small but fully representative seeded configuration: the
+// six-state model, two actor counts, two defender noise levels, two
+// ownership draws each, exercising dispatch → impact → SA → Pa estimation →
+// defense → settlement end to end.
+func goldenCfg() experiments.Config {
+	return experiments.Config{
+		Trials:    2,
+		Seed:      7,
+		ActorGrid: []int{2, 4},
+		SigmaGrid: []float64{0, 0.2},
+		PaSamples: 4,
+		NoiseMode: core.MatrixNoise,
+	}
+}
+
+// TestGoldenFig5CSV locks the full pipeline's numeric output byte-for-byte
+// against a committed fixture. Any change to dispatch, impact accounting,
+// simplex pivoting, adversary search, Pa sampling, or defense knapsacks that
+// shifts a single digit fails here. Regenerate deliberately with
+//
+//	go test -run TestGoldenFig5CSV -update .
+func TestGoldenFig5CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline golden test")
+	}
+	// Telemetry must be a pure observer: run with the most invasive
+	// settings (tracing on) and require the product bytes unchanged.
+	telemetry.Default().EnableTracing(true)
+	defer telemetry.Default().EnableTracing(false)
+
+	tb, err := experiments.Fig5(goldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(tb.CSV())
+
+	path := filepath.Join("testdata", "golden_fig5.csv")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("golden CSV drifted from %s\n--- want ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}
+
+// TestGoldenRunIsDeterministic re-runs the same configuration and requires
+// identical bytes — the in-process version of the two-run determinism
+// contract the telemetry layer documents.
+func TestGoldenRunIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline determinism test")
+	}
+	a, err := experiments.Fig5(goldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.Fig5(goldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatalf("two identical seeded runs diverged:\n--- first ---\n%s\n--- second ---\n%s", a.CSV(), b.CSV())
+	}
+}

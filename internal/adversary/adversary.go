@@ -25,6 +25,7 @@ import (
 	"cpsguard/internal/impact"
 	"cpsguard/internal/lp"
 	"cpsguard/internal/milp"
+	"cpsguard/internal/telemetry"
 )
 
 // Target describes one attackable asset from the SA's point of view.
@@ -160,6 +161,7 @@ func newInstance(cfg Config) (*instance, error) {
 // value computes the exact objective of a target set (indices) with the
 // closed-form optimal actor choice, returning the value and chosen actors.
 func (in *instance) value(set []int) (float64, []int) {
+	mEvaluations.Inc()
 	obj := 0.0
 	for _, i := range set {
 		obj -= in.cost[i]
@@ -194,7 +196,9 @@ func (in *instance) plan(set []int, nodes int, proven bool) *Plan {
 
 // Solve finds the optimal attack by branch and bound. The empty attack
 // (value 0) is always feasible, so Anticipated ≥ 0.
-func Solve(cfg Config) (*Plan, error) {
+func Solve(cfg Config) (plan *Plan, err error) {
+	sp := telemetry.Default().StartSpan("adversary.solve", "")
+	defer func() { recordSolve(sp, plan, err) }()
 	in, err := newInstance(cfg)
 	if err != nil {
 		return nil, err
@@ -298,6 +302,7 @@ func Solve(cfg Config) (*Plan, error) {
 func SolveResilient(cfg Config) (*Plan, error) {
 	plan, err := recovering("exact", func() (*Plan, error) { return Solve(cfg) })
 	if err == nil {
+		mFallbackDepth.Observe(0)
 		return plan, nil
 	}
 	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
@@ -310,6 +315,8 @@ func SolveResilient(cfg Config) (*Plan, error) {
 	plan, gerr := recovering("greedy", func() (*Plan, error) { return SolveGreedy(cfg) })
 	if gerr == nil {
 		plan.Fallbacks = chain
+		mFallbacks.Add(int64(len(chain)))
+		mFallbackDepth.Observe(1)
 		return plan, nil
 	}
 	chain = append(chain, fmt.Sprintf("milp-oracle: greedy failed (%v)", gerr))
@@ -317,6 +324,8 @@ func SolveResilient(cfg Config) (*Plan, error) {
 	plan, merr := recovering("milp-oracle", func() (*Plan, error) { return SolveMILP(cfg) })
 	if merr == nil {
 		plan.Fallbacks = chain
+		mFallbacks.Add(int64(len(chain)))
+		mFallbackDepth.Observe(2)
 		return plan, nil
 	}
 	return nil, fmt.Errorf("adversary: all solvers failed: exact (%v); greedy (%v); milp (%w)",

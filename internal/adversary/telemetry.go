@@ -1,0 +1,36 @@
+// Telemetry instruments for the strategic-adversary layer. The DFS is
+// sequential and seeded, so node and evaluation counts are deterministic;
+// fallback depth records how far down the exact→greedy→MILP chain
+// SolveResilient had to degrade (0 = clean exact solve).
+package adversary
+
+import "cpsguard/internal/telemetry"
+
+var (
+	mSolves        = telemetry.NewCounter("adversary.solves")
+	mErrors        = telemetry.NewCounter("adversary.errors")
+	mNodes         = telemetry.NewCounter("adversary.nodes")
+	mEvaluations   = telemetry.NewCounter("adversary.evaluations")
+	mUnproven      = telemetry.NewCounter("adversary.unproven_exits")
+	mFallbacks     = telemetry.NewCounter("adversary.fallbacks")
+	mNodesHist     = telemetry.NewHistogram("adversary.nodes_per_solve", telemetry.WorkEdges)
+	mFallbackDepth = telemetry.NewHistogram("adversary.fallback_depth", telemetry.DepthEdges)
+)
+
+// recordSolve books one exact Solve outcome and closes its span.
+func recordSolve(sp *telemetry.Span, plan *Plan, err error) {
+	mSolves.Inc()
+	if err != nil {
+		mErrors.Inc()
+		sp.AddDegradations("error: " + err.Error())
+	}
+	if plan != nil {
+		mNodes.Add(int64(plan.Nodes))
+		mNodesHist.Observe(int64(plan.Nodes))
+		sp.SetWork(int64(plan.Nodes))
+		if !plan.Proven {
+			mUnproven.Inc()
+		}
+	}
+	sp.End()
+}

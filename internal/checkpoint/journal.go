@@ -106,6 +106,9 @@ func Resume(path string, opts Options) (*Journal, *Replay, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		j, cerr := Create(path, opts)
+		if cerr == nil {
+			mResumes.Inc()
+		}
 		return j, &Replay{records: map[string]Record{}}, cerr
 	}
 	if err != nil {
@@ -114,6 +117,7 @@ func Resume(path string, opts Options) (*Journal, *Replay, error) {
 	rep, validLen := scan(data)
 	if validLen < len(data) {
 		rep.TruncatedBytes = len(data) - validLen
+		mTruncatedB.Add(int64(rep.TruncatedBytes))
 		if err := atomicio.WriteFile(path, data[:validLen], 0o644); err != nil {
 			return nil, nil, err
 		}
@@ -122,6 +126,7 @@ func Resume(path string, opts Options) (*Journal, *Replay, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("checkpoint: %w", err)
 	}
+	mResumes.Inc()
 	return &Journal{f: f, path: path, seq: rep.lastSeq, opts: opts}, rep, nil
 }
 
@@ -192,10 +197,17 @@ const maxLine = 1 << 20
 // Append journals one trial outcome: value is JSON-encoded (pass nil for a
 // failed trial), the record gets the next sequence number and its CRC, and
 // the line is written in a single syscall then fsynced (unless NoSync).
-func (j *Journal) Append(id string, ok bool, value any, errMsg string) error {
+func (j *Journal) Append(id string, ok bool, value any, errMsg string) (err error) {
 	if j == nil {
 		return nil
 	}
+	defer func() {
+		if err != nil {
+			mAppendErrors.Inc()
+		} else {
+			mAppends.Inc()
+		}
+	}()
 	var raw json.RawMessage
 	if ok {
 		b, err := json.Marshal(value)

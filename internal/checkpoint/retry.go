@@ -148,6 +148,7 @@ func Do[T any](ctx context.Context, r Retrier, key string, fn func() (T, error))
 		if serr := r.sleep(sctx, r.Backoff(key, attempt)); serr != nil {
 			return zero, err // canceled mid-backoff: surface the trial error
 		}
+		mRetries.Inc()
 	}
 }
 

@@ -103,18 +103,21 @@ func (s *Sweep) Flagged() []string {
 }
 
 func (s *Sweep) noteReplayed() {
+	mReplayed.Inc()
 	s.mu.Lock()
 	s.replayed++
 	s.mu.Unlock()
 }
 
 func (s *Sweep) noteExecuted() {
+	mExecuted.Inc()
 	s.mu.Lock()
 	s.executed++
 	s.mu.Unlock()
 }
 
 func (s *Sweep) noteFlagged(id string) {
+	mWatchdogFlags.Inc()
 	s.mu.Lock()
 	s.flagged = append(s.flagged, id)
 	s.mu.Unlock()

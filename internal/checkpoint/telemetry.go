@@ -1,0 +1,18 @@
+// Telemetry instruments for the crash-safety layer: journal traffic, resume
+// replays, retry/watchdog activity. On a clean seeded sweep every one of
+// these is a pure function of the configuration, so they belong to the
+// deterministic snapshot sections.
+package checkpoint
+
+import "cpsguard/internal/telemetry"
+
+var (
+	mAppends       = telemetry.NewCounter("checkpoint.journal_appends")
+	mAppendErrors  = telemetry.NewCounter("checkpoint.journal_append_errors")
+	mResumes       = telemetry.NewCounter("checkpoint.resumes")
+	mTruncatedB    = telemetry.NewCounter("checkpoint.truncated_bytes")
+	mReplayed      = telemetry.NewCounter("checkpoint.trials_replayed")
+	mExecuted      = telemetry.NewCounter("checkpoint.trials_executed")
+	mRetries       = telemetry.NewCounter("checkpoint.retries")
+	mWatchdogFlags = telemetry.NewCounter("checkpoint.watchdog_flags")
+)

@@ -1,0 +1,39 @@
+// Debug/telemetry flag plumbing shared by the cmd/ tools: the opt-in pprof +
+// metrics HTTP endpoint and the end-of-run metrics snapshot.
+package cli
+
+import (
+	"log"
+
+	"cpsguard/internal/telemetry"
+)
+
+// StartDebug starts telemetry's debug HTTP endpoint (/metrics, /debug/vars,
+// /debug/pprof) when addr is non-empty and returns a shutdown func. An empty
+// addr is a no-op. The bound address is logged so ":0" is usable.
+func StartDebug(addr string) func() {
+	if addr == "" {
+		return func() {}
+	}
+	srv, bound, err := telemetry.Default().ServeDebug(addr)
+	if err != nil {
+		log.Fatalf("debug endpoint: %v", err)
+	}
+	log.Printf("debug endpoint listening on http://%s (/metrics, /debug/pprof)", bound)
+	return func() { srv.Close() }
+}
+
+// WriteMetrics dumps the default telemetry registry to path when path is
+// non-empty. The default dump holds only the deterministic sections
+// (counters, logical-work histograms); withTrace adds the wall-clock timings
+// and the retained span window.
+func WriteMetrics(path string, withTrace bool) {
+	if path == "" {
+		return
+	}
+	opts := telemetry.SnapshotOptions{Timings: withTrace, Spans: withTrace}
+	if err := telemetry.Default().WriteSnapshot(path, opts); err != nil {
+		log.Fatalf("metrics snapshot: %v", err)
+	}
+	log.Printf("wrote metrics snapshot %s", path)
+}

@@ -1,0 +1,43 @@
+// Checked stdout/stderr output for the cmd/ tools. The result tables and
+// JSON models these binaries print ARE their product; a broken pipe or full
+// disk that silently drops them is strictly worse than dying loudly, so the
+// Must variants terminate the process on write failure.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// exit is swapped by tests.
+var exit = os.Exit
+
+// fail reports a stdout write failure on stderr (best effort) and exits.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "fatal: write stdout: %v\n", err)
+	exit(1)
+}
+
+// MustPrintf formats to stdout, terminating the process if the write fails.
+func MustPrintf(format string, args ...any) {
+	if _, err := fmt.Fprintf(os.Stdout, format, args...); err != nil {
+		fail(err)
+	}
+}
+
+// MustPrintln prints to stdout with a newline, terminating on write failure.
+func MustPrintln(args ...any) {
+	if _, err := fmt.Fprintln(os.Stdout, args...); err != nil {
+		fail(err)
+	}
+}
+
+// MustWrite copies data to w (stdout, a CSV file, ...), terminating on write
+// failure. The writer's name labels the error.
+func MustWrite(w io.Writer, name string, data []byte) {
+	if _, err := w.Write(data); err != nil {
+		fmt.Fprintf(os.Stderr, "fatal: write %s: %v\n", name, err)
+		exit(1)
+	}
+}

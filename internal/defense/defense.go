@@ -97,6 +97,15 @@ func successProb(m map[string]float64, t string) float64 {
 // error so a single bad trial cannot crash a Monte-Carlo run.
 func PlanIndependent(cfg IndependentConfig) (inv *Investment, err error) {
 	defer func() {
+		mIndependent.Inc()
+		if err != nil {
+			mPlanErrors.Inc()
+			return
+		}
+		mDefended.Add(int64(len(inv.Defended)))
+		mDefendedHist.Observe(int64(len(inv.Defended)))
+	}()
+	defer func() {
 		if r := recover(); r != nil {
 			inv, err = nil, fmt.Errorf("defense: independent plan for %s panicked: %v", cfg.Actor, r)
 		}
@@ -204,6 +213,15 @@ type CollabInvestment struct {
 // knapsack (one cost-share budget row per actor). Panics in the knapsack
 // layer are recovered and returned as errors.
 func PlanCollaborative(cfg CollaborativeConfig) (inv *CollabInvestment, err error) {
+	defer func() {
+		mCollab.Inc()
+		if err != nil {
+			mPlanErrors.Inc()
+			return
+		}
+		mDefended.Add(int64(len(inv.Defended)))
+		mDefendedHist.Observe(int64(len(inv.Defended)))
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			inv, err = nil, fmt.Errorf("defense: collaborative plan panicked: %v", r)
@@ -317,6 +335,8 @@ func EstimateAttackProb(believed *impact.Matrix, targets []adversary.Target,
 	if samples <= 0 {
 		return nil, errors.New("defense: samples must be positive")
 	}
+	mPaEstimates.Inc()
+	mPaSamples.Add(int64(samples))
 	plans, err := parallel.Map(samples, par, func(i int) ([]string, error) {
 		rs := rng.Derive(seed, uint64(i))
 		view := *believed // shallow copy; IM replaced below

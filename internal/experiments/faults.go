@@ -13,6 +13,7 @@ import (
 
 	"cpsguard/internal/checkpoint"
 	"cpsguard/internal/parallel"
+	"cpsguard/internal/telemetry"
 )
 
 // FaultPolicy governs how experiment runners treat per-trial failures.
@@ -112,6 +113,12 @@ func runTrials[T any](cfg Config, point string,
 	n := cfg.trials()
 	pol := cfg.Faults
 	seed := cfg.seed()
+	mPoints.Inc()
+	mTrials.Add(int64(n))
+	mTrialsHist.Observe(int64(n))
+	sp := telemetry.Default().StartSpan("experiments.point", point)
+	sp.SetWork(int64(n))
+	defer sp.End()
 	wrapped := func(ctx context.Context, i int) (T, error) {
 		id := checkpoint.TrialID(seed, point, i)
 		return checkpoint.RunTrial(cfg.Sweep, ctx, id, func(ctx context.Context) (T, error) {
@@ -129,6 +136,9 @@ func runTrials[T any](cfg Config, point string,
 	par := cfg.Parallel
 	chained := par.OnSettle
 	par.OnSettle = func(i int, err error) {
+		if err != nil {
+			mTrialFailures.Inc()
+		}
 		pol.Log.record(point, i, err)
 		if chained != nil {
 			chained(i, err)
@@ -154,11 +164,14 @@ func runTrials[T any](cfg Config, point string,
 	if failed == 0 {
 		return ok, nil
 	}
+	sp.AddDegradations(fmt.Sprintf("%d/%d trials failed", failed, n))
 	rate := float64(failed) / float64(n)
 	if rate > pol.MaxFailureRate || len(ok) == 0 {
+		mPointFailures.Inc()
 		return nil, fmt.Errorf("experiments: %s: %d/%d trials failed (rate %.2f > tolerated %.2f), first: %w",
 			point, failed, n, rate, pol.MaxFailureRate, firstErr)
 	}
+	mTolerated.Add(int64(failed))
 	return ok, nil
 }
 

@@ -1,0 +1,16 @@
+// Telemetry instruments for the experiment runners: per-point and per-trial
+// rollups. Trials and points are fixed by the configuration, so on a clean
+// run every counter here is deterministic; failures only appear under fault
+// injection or real solver trouble.
+package experiments
+
+import "cpsguard/internal/telemetry"
+
+var (
+	mPoints        = telemetry.NewCounter("experiments.points")
+	mPointFailures = telemetry.NewCounter("experiments.point_failures")
+	mTrials        = telemetry.NewCounter("experiments.trials")
+	mTrialFailures = telemetry.NewCounter("experiments.trial_failures")
+	mTolerated     = telemetry.NewCounter("experiments.trials_excluded")
+	mTrialsHist    = telemetry.NewHistogram("experiments.trials_per_point", telemetry.WorkEdges)
+)

@@ -279,6 +279,9 @@ func (t *boundedTableau) simplex(c []float64) Status {
 			lastObj = obj
 			noProgress = 0
 		} else if noProgress++; noProgress > 2*(t.m+10) {
+			if !bland {
+				mBlandSwitch.Inc()
+			}
 			bland = true
 		}
 

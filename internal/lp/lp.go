@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"cpsguard/internal/telemetry"
 )
 
 // Sense is the direction of a linear constraint.
@@ -283,6 +285,8 @@ func (p *Problem) SolveOpts(opts Options) (sol *Solution, err error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	sp := telemetry.Default().StartSpan("lp.solve", p.name)
+	defer func() { recordSolve(sp, sol, err) }()
 	g := newGuard(opts)
 	if st, stop := g.at("lp.enter"); stop {
 		if st == statusAborted {
@@ -477,6 +481,7 @@ func (t *tableau) run() (*Solution, error) {
 		}
 	}
 	if hasArt {
+		mPhase1.Inc()
 		// Phase-1 cost: sum of artificials.
 		c1 := make([]float64, t.nTotal)
 		for _, c := range t.artCols {
@@ -594,6 +599,9 @@ func (t *tableau) simplex(c []float64, phase1 bool) Status {
 		} else {
 			noProgress++
 			if noProgress > 2*(t.m+10) {
+				if !bland {
+					mBlandSwitch.Inc()
+				}
 				bland = true // suspected cycling: switch to Bland's rule
 			}
 		}

@@ -26,6 +26,7 @@ func SolveResilient(p *Problem, opts Options) (*Solution, error) {
 		return sol, err
 	}
 
+	mBlandRestarts.Inc()
 	retryOpts := opts
 	retryOpts.ForceBland = true
 	// Budget the restart from the problem-size default, not the caller's
@@ -37,6 +38,7 @@ func SolveResilient(p *Problem, opts Options) (*Solution, error) {
 			fmt.Errorf("bland restart after %s also failed: %w", reason, err2))
 	}
 	sol2.Fallbacks = append(sol2.Fallbacks, "bland-restart: "+reason)
+	mFallbacks.Add(int64(len(sol2.Fallbacks)))
 	return sol2, nil
 }
 

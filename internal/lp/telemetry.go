@@ -1,0 +1,46 @@
+// Telemetry instruments for the simplex layer. Counters are registered once
+// at init and updated with single atomic adds at solve exit, so the pivot
+// loops themselves stay untouched; only cycling-rule switches are counted
+// in-loop (they fire at most once per simplex call).
+package lp
+
+import "cpsguard/internal/telemetry"
+
+var (
+	mSolves        = telemetry.NewCounter("lp.solves")
+	mErrors        = telemetry.NewCounter("lp.errors")
+	mPivots        = telemetry.NewCounter("lp.pivots")
+	mPhase1        = telemetry.NewCounter("lp.phase1_solves")
+	mBlandSwitch   = telemetry.NewCounter("lp.bland_switches")
+	mBlandRestarts = telemetry.NewCounter("lp.bland_restarts")
+	mFallbacks     = telemetry.NewCounter("lp.fallbacks")
+	mPivotsHist    = telemetry.NewHistogram("lp.pivots_per_solve", telemetry.WorkEdges)
+
+	mStatus = func() map[Status]*telemetry.Counter {
+		out := map[Status]*telemetry.Counter{}
+		for _, st := range []Status{Optimal, Infeasible, Unbounded, IterationLimit,
+			Canceled, DeadlineExceeded, NodeLimit} {
+			out[st] = telemetry.NewCounter("lp.status." + st.String())
+		}
+		return out
+	}()
+)
+
+// recordSolve books one SolveOpts outcome: solve/error/status counters, the
+// pivot total and per-solve histogram, and the span (when tracing).
+func recordSolve(sp *telemetry.Span, sol *Solution, err error) {
+	mSolves.Inc()
+	if err != nil {
+		mErrors.Inc()
+		sp.AddDegradations("error: " + err.Error())
+		sp.End()
+		return
+	}
+	if sol != nil {
+		mStatus[sol.Status].Inc()
+		mPivots.Add(int64(sol.Iterations))
+		mPivotsHist.Observe(int64(sol.Iterations))
+		sp.SetWork(int64(sol.Iterations))
+	}
+	sp.End()
+}

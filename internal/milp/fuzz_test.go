@@ -1,0 +1,188 @@
+package milp
+
+import (
+	"testing"
+
+	"cpsguard/internal/lp"
+)
+
+// fuzzProblem decodes a byte stream into a small pure-binary MILP with
+// integer data: n ≤ 12 binary variables, m ≤ 4 constraints, coefficients in
+// [−5,5] and RHS in [−10,10]. Integer data keeps the brute-force oracle
+// exact (binary-point sums are integers, exact in float64), and the unit
+// upper bounds make the relaxation a bounded box — never unbounded.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *byteReader) intIn(lo, hi int) int {
+	span := hi - lo + 1
+	return lo + int(r.next())%span
+}
+
+type fuzzLP struct {
+	n, m   int
+	obj    []int
+	coefs  [][]int // m × n
+	senses []lp.Sense
+	rhs    []int
+}
+
+func decodeFuzzLP(data []byte) fuzzLP {
+	r := &byteReader{data: data}
+	p := fuzzLP{
+		n: r.intIn(1, 12),
+		m: r.intIn(0, 4),
+	}
+	p.obj = make([]int, p.n)
+	for j := range p.obj {
+		p.obj[j] = r.intIn(-5, 5)
+	}
+	p.coefs = make([][]int, p.m)
+	p.senses = make([]lp.Sense, p.m)
+	p.rhs = make([]int, p.m)
+	for i := 0; i < p.m; i++ {
+		row := make([]int, p.n)
+		for j := range row {
+			row[j] = r.intIn(-5, 5)
+		}
+		p.coefs[i] = row
+		p.senses[i] = []lp.Sense{lp.LE, lp.GE, lp.EQ}[r.intIn(0, 2)]
+		p.rhs[i] = r.intIn(-10, 10)
+	}
+	return p
+}
+
+func (p fuzzLP) build() Problem {
+	prob := lp.NewProblem()
+	binary := make([]int, p.n)
+	for j := 0; j < p.n; j++ {
+		binary[j] = prob.AddVariable("x", float64(p.obj[j]), 1)
+	}
+	for i := 0; i < p.m; i++ {
+		coefs := make([]lp.Coef, 0, p.n)
+		for j, c := range p.coefs[i] {
+			if c != 0 {
+				coefs = append(coefs, lp.Coef{Var: binary[j], Value: float64(c)})
+			}
+		}
+		prob.AddConstraint(lp.Constraint{Coefs: coefs, Sense: p.senses[i], RHS: float64(p.rhs[i])})
+	}
+	return Problem{LP: prob, Binary: binary}
+}
+
+// bruteForce enumerates all 2^n binary assignments with exact integer
+// arithmetic and returns the minimum objective, or feasible=false.
+func (p fuzzLP) bruteForce() (best int, feasible bool) {
+	for mask := 0; mask < 1<<p.n; mask++ {
+		ok := true
+		for i := 0; i < p.m && ok; i++ {
+			sum := 0
+			for j := 0; j < p.n; j++ {
+				if mask&(1<<j) != 0 {
+					sum += p.coefs[i][j]
+				}
+			}
+			switch p.senses[i] {
+			case lp.LE:
+				ok = sum <= p.rhs[i]
+			case lp.GE:
+				ok = sum >= p.rhs[i]
+			default:
+				ok = sum == p.rhs[i]
+			}
+		}
+		if !ok {
+			continue
+		}
+		obj := 0
+		for j := 0; j < p.n; j++ {
+			if mask&(1<<j) != 0 {
+				obj += p.obj[j]
+			}
+		}
+		if !feasible || obj < best {
+			best, feasible = obj, true
+		}
+	}
+	return best, feasible
+}
+
+// FuzzBranchAndBound cross-checks the branch-and-bound solver against
+// exhaustive enumeration on random small pure-binary problems: agreement on
+// feasibility and (for feasible problems) on the optimal objective, and a
+// returned X that is genuinely binary, feasible, and achieves the objective.
+func FuzzBranchAndBound(f *testing.F) {
+	f.Add([]byte{3, 1, 250, 2, 3, 1, 1, 1, 0, 2})
+	f.Add([]byte{})
+	f.Add([]byte{12, 4, 5, 5, 5, 5})
+	f.Add([]byte{5, 2, 1, 255, 3, 254, 0, 2, 2, 2, 2, 2, 2, 5, 1, 1, 1, 1, 1, 1, 253})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz := decodeFuzzLP(data)
+		sol, err := Solve(fz.build(), Options{})
+		if err != nil {
+			t.Fatalf("solver error on valid problem %+v: %v", fz, err)
+		}
+		want, feasible := fz.bruteForce()
+		if !feasible {
+			if sol.Status != lp.Infeasible {
+				t.Fatalf("brute force infeasible, solver says %v (obj %v) for %+v",
+					sol.Status, sol.Objective, fz)
+			}
+			return
+		}
+		if sol.Status != lp.Optimal {
+			t.Fatalf("brute force optimum %d, solver status %v for %+v", want, sol.Status, fz)
+		}
+		if !sol.Proven {
+			t.Fatalf("tiny problem not proven optimal: %+v", fz)
+		}
+		if diff := sol.Objective - float64(want); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("objective %v, brute force %d for %+v", sol.Objective, want, fz)
+		}
+		// The returned assignment must be binary, feasible, and achieve the
+		// reported objective (checked exactly in integers).
+		obj := 0
+		xs := make([]int, fz.n)
+		for j := 0; j < fz.n; j++ {
+			v := sol.X[j]
+			if v != 0 && v != 1 {
+				t.Fatalf("X[%d] = %v not binary for %+v", j, v, fz)
+			}
+			xs[j] = int(v)
+			obj += xs[j] * fz.obj[j]
+		}
+		if obj != want {
+			t.Fatalf("returned X scores %d, optimum %d for %+v", obj, want, fz)
+		}
+		for i := 0; i < fz.m; i++ {
+			sum := 0
+			for j := 0; j < fz.n; j++ {
+				sum += xs[j] * fz.coefs[i][j]
+			}
+			violated := false
+			switch fz.senses[i] {
+			case lp.LE:
+				violated = sum > fz.rhs[i]
+			case lp.GE:
+				violated = sum < fz.rhs[i]
+			default:
+				violated = sum != fz.rhs[i]
+			}
+			if violated {
+				t.Fatalf("returned X violates row %d (%v %v %d) for %+v",
+					i, sum, fz.senses[i], fz.rhs[i], fz)
+			}
+		}
+	})
+}

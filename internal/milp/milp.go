@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"cpsguard/internal/lp"
+	"cpsguard/internal/telemetry"
 )
 
 // Problem is a linear program plus a set of variables restricted to {0,1}.
@@ -128,10 +129,12 @@ func (q nodePQ) Peek() *node        { return q[0] }
 // Cancellation (via Options.Ctx) aborts between nodes, returning the best
 // incumbent found so far under a cancellation status; an already-expired
 // context returns before the root relaxation is solved.
-func Solve(p Problem, opts Options) (*Solution, error) {
+func Solve(p Problem, opts Options) (sol *Solution, err error) {
 	if err := validate(p); err != nil {
 		return nil, err
 	}
+	sp := telemetry.Default().StartSpan("milp.solve", p.LP.Name())
+	defer func() { recordSolve(sp, sol, err) }()
 	tol := opts.tol()
 	lpOpts := opts.LP
 	if lpOpts.Ctx == nil {
@@ -220,6 +223,7 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 		n := heap.Pop(&pq).(*node)
 		nodes++
 		if best != nil && n.bound >= best.Objective-1e-12 {
+			mPruned.Inc()
 			continue // pruned by incumbent
 		}
 		sol := relaxCache[n]
@@ -236,6 +240,7 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 				continue
 			}
 			if best != nil && sol.Objective >= best.Objective-1e-12 {
+				mPruned.Inc()
 				continue
 			}
 		}
@@ -252,6 +257,7 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 		if branchVar < 0 {
 			// Integer feasible: candidate incumbent.
 			if best == nil || sol.Objective < best.Objective {
+				mIncumbents.Inc()
 				x := append([]float64(nil), sol.X...)
 				for _, v := range p.Binary {
 					x[v] = math.Round(x[v])
@@ -277,6 +283,7 @@ func Solve(p Problem, opts Options) (*Solution, error) {
 				continue
 			}
 			if best != nil && cs.Objective >= best.Objective-1e-12 {
+				mPruned.Inc()
 				continue
 			}
 			child.bound = cs.Objective

@@ -10,6 +10,9 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
+
+	"cpsguard/internal/telemetry"
 )
 
 // DefaultWorkers is the worker count used when Options.Workers is zero:
@@ -62,6 +65,15 @@ func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 
+	reg := telemetry.Default()
+	mPools.Inc()
+	mWorkers.Add(int64(workers))
+	poolStart := reg.Now()
+	defer func() { tPool.Observe(reg.Now().Sub(poolStart).Nanoseconds()) }()
+	// enqueued[i] is written by the feeder before sending i; the channel send
+	// is the happens-before edge that publishes it to the receiving worker.
+	enqueued := make([]time.Time, n)
+
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -81,33 +93,43 @@ func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				start := reg.Now()
+				tQueueWait.Observe(start.Sub(enqueued[i]).Nanoseconds())
+				mTasks.Inc()
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
+							mTaskPanics.Inc()
 							setErr(fmt.Errorf("parallel: task %d panicked: %v", i, r))
 						}
 					}()
 					v, err := fn(i)
 					if err != nil {
+						mTaskErrors.Inc()
 						setErr(fmt.Errorf("parallel: task %d: %w", i, err))
 						return
 					}
 					results[i] = v
 				}()
+				tTask.Observe(reg.Now().Sub(start).Nanoseconds())
 			}
 		}()
 	}
 
+	sent := 0
 feed:
 	for i := 0; i < n; i++ {
+		enqueued[i] = reg.Now()
 		select {
 		case idx <- i:
+			sent++
 		case <-ctx.Done():
 			break feed
 		}
 	}
 	close(idx)
 	wg.Wait()
+	mSkipped.Add(int64(n - sent))
 
 	mu.Lock()
 	err := firstErr
@@ -142,6 +164,15 @@ func MapSettle[T any](n int, opts Options, fn func(ctx context.Context, i int) (
 		workers = n
 	}
 
+	reg := telemetry.Default()
+	mPools.Inc()
+	mWorkers.Add(int64(workers))
+	poolStart := reg.Now()
+	defer func() { tPool.Observe(reg.Now().Sub(poolStart).Nanoseconds()) }()
+	// enqueued[i] is written by the feeder before sending i; the channel send
+	// publishes it to the receiving worker.
+	enqueued := make([]time.Time, n)
+
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -149,19 +180,25 @@ func MapSettle[T any](n int, opts Options, fn func(ctx context.Context, i int) (
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				start := reg.Now()
+				tQueueWait.Observe(start.Sub(enqueued[i]).Nanoseconds())
+				mTasks.Inc()
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
+							mTaskPanics.Inc()
 							errs[i] = fmt.Errorf("parallel: task %d panicked: %v", i, r)
 						}
 					}()
 					v, err := fn(ctx, i)
 					if err != nil {
+						mTaskErrors.Inc()
 						errs[i] = err
 						return
 					}
 					results[i] = v
 				}()
+				tTask.Observe(reg.Now().Sub(start).Nanoseconds())
 				if opts.OnSettle != nil {
 					opts.OnSettle(i, errs[i])
 				}
@@ -172,6 +209,7 @@ func MapSettle[T any](n int, opts Options, fn func(ctx context.Context, i int) (
 	next := 0
 feed:
 	for ; next < n; next++ {
+		enqueued[next] = reg.Now()
 		select {
 		case idx <- next:
 		case <-ctx.Done():
@@ -180,6 +218,7 @@ feed:
 	}
 	close(idx)
 	wg.Wait()
+	mSkipped.Add(int64(n - next))
 
 	if err := ctx.Err(); err != nil {
 		for i := next; i < n; i++ {

@@ -1,0 +1,20 @@
+// Telemetry instruments for the worker pool. Task and pool counts are
+// deterministic; queue waits and task/pool durations are wall-clock and land
+// in the snapshot's separate "timings" section. Worker utilisation is derived
+// from them as sum(task_ns) / (workers × pool_ns).
+package parallel
+
+import "cpsguard/internal/telemetry"
+
+var (
+	mPools      = telemetry.NewCounter("parallel.pools")
+	mTasks      = telemetry.NewCounter("parallel.tasks")
+	mTaskErrors = telemetry.NewCounter("parallel.task_errors")
+	mTaskPanics = telemetry.NewCounter("parallel.task_panics")
+	mSkipped    = telemetry.NewCounter("parallel.tasks_skipped")
+	mWorkers    = telemetry.NewCounter("parallel.worker_starts")
+
+	tQueueWait = telemetry.NewTiming("parallel.queue_wait_ns")
+	tTask      = telemetry.NewTiming("parallel.task_ns")
+	tPool      = telemetry.NewTiming("parallel.pool_ns")
+)

@@ -118,6 +118,7 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mGames.Inc()
 	targets := s.Targets
 	costs := defense.UniformCosts(truth.Targets, 1)
 
@@ -137,6 +138,7 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 			return fmt.Errorf("repeated: round %d: %w", round, err)
 		}
 		res.FailedRounds++
+		mRoundsFailed.Inc()
 		if res.RoundErrors == nil {
 			res.RoundErrors = map[int]error{}
 		}
@@ -243,6 +245,7 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 		start = cfg.Rounds
 	}
 	for _, r := range cfg.ResumeRounds[:start] {
+		mRoundsReplayed.Inc()
 		settle(r)
 	}
 
@@ -267,6 +270,7 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 			}
 			continue
 		}
+		mRounds.Inc()
 		settle(r)
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, r)

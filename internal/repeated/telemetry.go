@@ -1,0 +1,13 @@
+// Telemetry instruments for the repeated game: rounds played, replayed, and
+// failed per trajectory. Round counts follow directly from the seeded
+// configuration, so they are deterministic on clean runs.
+package repeated
+
+import "cpsguard/internal/telemetry"
+
+var (
+	mGames          = telemetry.NewCounter("repeated.games")
+	mRounds         = telemetry.NewCounter("repeated.rounds")
+	mRoundsReplayed = telemetry.NewCounter("repeated.rounds_replayed")
+	mRoundsFailed   = telemetry.NewCounter("repeated.rounds_failed")
+)

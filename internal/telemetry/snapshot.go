@@ -1,0 +1,103 @@
+// Snapshot export: the JSON dump written at sweep end, and the expvar
+// registration. The default snapshot carries only the deterministic sections
+// (counters, histograms); timings and spans are opt-in because their
+// contents depend on the machine, not the model.
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"sync"
+
+	"cpsguard/internal/atomicio"
+)
+
+// Snapshot is the exported state of a registry. encoding/json marshals maps
+// with sorted keys, so identical registry states marshal to identical bytes.
+type Snapshot struct {
+	// Counters holds every registered counter. Deterministic: two runs of
+	// the same seeded sweep produce byte-identical values.
+	Counters map[string]int64 `json:"counters"`
+	// Histograms holds the logical-work histograms. Deterministic.
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Timings holds the wall-clock histograms (nanoseconds). Machine- and
+	// scheduling-dependent; omitted unless requested.
+	Timings map[string]HistogramSnapshot `json:"timings,omitempty"`
+	// Spans holds the retained trace window, oldest first. Only present
+	// when tracing was enabled and spans were requested.
+	Spans []SpanRecord `json:"spans,omitempty"`
+	// SpansDropped counts spans overwritten after the ring filled.
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
+}
+
+// SnapshotOptions selects the nondeterministic sections.
+type SnapshotOptions struct {
+	// Timings includes the wall-clock histograms.
+	Timings bool
+	// Spans includes the retained trace window.
+	Spans bool
+}
+
+// Snapshot copies the registry state. Counters still being written
+// concurrently are read atomically one by one; take the snapshot after the
+// instrumented work settles for an exact cut.
+func (r *Registry) Snapshot(opts SnapshotOptions) *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	if opts.Timings {
+		s.Timings = make(map[string]HistogramSnapshot, len(r.timings))
+		for name, h := range r.timings {
+			s.Timings[name] = h.snapshot()
+		}
+	}
+	if opts.Spans {
+		s.Spans, s.SpansDropped = r.spans.records()
+	}
+	return s
+}
+
+// MarshalIndented renders the snapshot as stable, human-diffable JSON with a
+// trailing newline.
+func (s *Snapshot) MarshalIndented() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: encode snapshot: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteSnapshot dumps the registry to path atomically (temp + fsync +
+// rename via internal/atomicio), so a crash mid-dump never leaves a torn
+// metrics file for a dashboard to ingest.
+func (r *Registry) WriteSnapshot(path string, opts SnapshotOptions) error {
+	data, err := r.Snapshot(opts).MarshalIndented()
+	if err != nil {
+		return err
+	}
+	return atomicio.MkdirAllAndWrite(path, data, 0o644)
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar registers the Default registry under the expvar name
+// "cpsguard.telemetry" (full snapshot, timings and spans included — expvar
+// is a live debugging surface, not the deterministic artifact). Safe to call
+// any number of times; expvar registration happens once.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("cpsguard.telemetry", expvar.Func(func() any {
+			return def.Snapshot(SnapshotOptions{Timings: true, Spans: true})
+		}))
+	})
+}

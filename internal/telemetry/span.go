@@ -1,0 +1,118 @@
+// Per-solve span traces: one record per instrumented solve or trial, kept in
+// a bounded ring so a million-solve sweep holds the most recent window
+// rather than growing without bound. Durations come from the registry clock,
+// so tests with a fake clock get deterministic traces.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// spanCap bounds the ring. At ~100 bytes a record this caps trace memory
+// near 64 KiB regardless of sweep length.
+const spanCap = 512
+
+// SpanRecord is one completed span as exported in snapshots.
+type SpanRecord struct {
+	// Stage names the instrumented operation ("lp.solve", "milp.solve",
+	// "adversary.solve", "checkpoint.trial", "experiments.point").
+	Stage string `json:"stage"`
+	// Problem is the solve's problem or trial label (may be empty).
+	Problem string `json:"problem,omitempty"`
+	// Work is the solve's logical work: simplex pivots, branch-and-bound
+	// nodes, or trials, depending on Stage.
+	Work int64 `json:"work"`
+	// Degradations lists resilience fallbacks applied during the span
+	// ("bland-restart: ...", "greedy: ...").
+	Degradations []string `json:"degradations,omitempty"`
+	// Retries counts retry/requeue attempts consumed by the span.
+	Retries int `json:"retries,omitempty"`
+	// DurationNS is the span's wall-clock duration on the registry clock.
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// A Span is an in-flight trace record. A nil *Span (tracing disabled) is
+// valid: every method is a no-op, so instrumentation sites never branch.
+type Span struct {
+	r     *Registry
+	rec   SpanRecord
+	start time.Time
+}
+
+// StartSpan opens a span when tracing is enabled, else returns nil.
+func (r *Registry) StartSpan(stage, problem string) *Span {
+	if r == nil || !r.tracing.Load() {
+		return nil
+	}
+	return &Span{r: r, rec: SpanRecord{Stage: stage, Problem: problem}, start: r.Now()}
+}
+
+// SetWork records the span's logical work (pivots, nodes, trials).
+func (s *Span) SetWork(n int64) {
+	if s != nil {
+		s.rec.Work = n
+	}
+}
+
+// AddDegradations appends resilience-fallback records.
+func (s *Span) AddDegradations(d ...string) {
+	if s != nil && len(d) > 0 {
+		s.rec.Degradations = append(s.rec.Degradations, d...)
+	}
+}
+
+// SetRetries records how many retries/requeues the span consumed.
+func (s *Span) SetRetries(n int) {
+	if s != nil {
+		s.rec.Retries = n
+	}
+}
+
+// End stamps the duration and commits the record to the registry's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.DurationNS = s.r.Now().Sub(s.start).Nanoseconds()
+	s.r.spans.add(s.rec)
+}
+
+// spanRing is a bounded FIFO of completed spans. Appends are rare relative
+// to counter updates (one per solve, not per pivot), so a mutex suffices.
+type spanRing struct {
+	mu      sync.Mutex
+	buf     []SpanRecord
+	next    int // insertion cursor once the ring is full
+	dropped int64
+}
+
+func (r *spanRing) add(rec SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < spanCap {
+		r.buf = append(r.buf, rec)
+		return
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % spanCap
+	r.dropped++
+}
+
+// records returns the retained spans oldest-first plus the overwrite count.
+func (r *spanRing) records() ([]SpanRecord, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out, r.dropped
+}
+
+func (r *spanRing) reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = nil
+	r.next = 0
+	r.dropped = 0
+}
