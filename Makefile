@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz-smoke crash-resume clean
+.PHONY: ci vet build test race bench bench-smoke fuzz-smoke crash-resume clean
 
-ci: vet build race fuzz-smoke crash-resume
+ci: vet build race bench-smoke fuzz-smoke crash-resume
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,11 @@ race:
 # workload produced. Output is machine-readable for regression tracking.
 bench:
 	BENCH_OUT=BENCH_telemetry.json $(GO) test -run '^TestBenchTelemetry$$' -count=1 -v .
+
+# One-iteration pass over every benchmark: catches benchmarks that no longer
+# compile or panic, without paying for a timed run. Part of ci.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 ./...
 
 # Short fuzz smoke: exercise each fuzz target briefly so regressions in the
 # hostile-input paths surface in CI without a long fuzzing budget.

@@ -9,11 +9,26 @@ package cpsguard
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"testing"
 
 	"cpsguard/internal/atomicio"
 	"cpsguard/internal/telemetry"
 )
+
+// benchSchema versions the BENCH_telemetry.json layout. Consumers (CI
+// regression trackers, cpsreport-style analyzers) should reject files whose
+// schema they do not recognize rather than guess; bump the suffix on any
+// incompatible change.
+const benchSchema = "cpsguard-bench/v1"
+
+// benchTelemetryReport is the file-level envelope of BENCH_telemetry.json.
+type benchTelemetryReport struct {
+	Schema     string                         `json:"schema"`
+	GoVersion  string                         `json:"go_version"`
+	Platform   string                         `json:"platform"`
+	Benchmarks map[string]benchTelemetryEntry `json:"benchmarks"`
+}
 
 // benchTelemetryEntry is one benchmark's timing plus the deterministic work
 // counters accumulated across all its iterations.
@@ -44,7 +59,12 @@ func TestBenchTelemetry(t *testing.T) {
 		{"ExperimentsTrial", BenchmarkExperimentsTrial},
 	}
 	reg := telemetry.Default()
-	report := make(map[string]benchTelemetryEntry, len(benches))
+	report := benchTelemetryReport{
+		Schema:     benchSchema,
+		GoVersion:  runtime.Version(),
+		Platform:   runtime.GOOS + "/" + runtime.GOARCH,
+		Benchmarks: make(map[string]benchTelemetryEntry, len(benches)),
+	}
 	for _, bench := range benches {
 		reg.Reset()
 		r := testing.Benchmark(bench.fn)
@@ -55,7 +75,7 @@ func TestBenchTelemetry(t *testing.T) {
 				counters[name] = v
 			}
 		}
-		report[bench.name] = benchTelemetryEntry{
+		report.Benchmarks[bench.name] = benchTelemetryEntry{
 			Iterations:  r.N,
 			NsPerOp:     r.NsPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -74,4 +94,39 @@ func TestBenchTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s (%d bytes)", out, len(data))
+}
+
+// TestBenchTelemetrySchema pins the file envelope: the schema tag and the
+// exact top-level key set. Downstream trackers key on these names; renaming
+// one is a breaking change that must bump benchSchema.
+func TestBenchTelemetrySchema(t *testing.T) {
+	report := benchTelemetryReport{
+		Schema: benchSchema, GoVersion: "go0.0", Platform: "test/none",
+		Benchmarks: map[string]benchTelemetryEntry{
+			"LPSolve": {Iterations: 1, NsPerOp: 2, Counters: map[string]int64{"lp.pivots": 3}},
+		},
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "go_version", "platform", "benchmarks"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("envelope missing key %q", key)
+		}
+	}
+	if len(raw) != 4 {
+		t.Errorf("envelope has %d top-level keys, want 4 (schema change requires a version bump)", len(raw))
+	}
+	var back benchTelemetryReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != benchSchema || back.Benchmarks["LPSolve"].Counters["lp.pivots"] != 3 {
+		t.Errorf("round trip mangled report: %+v", back)
+	}
 }

@@ -11,18 +11,17 @@ package main
 
 import (
 	"flag"
-	"log"
+	"os"
 
 	"cpsguard/internal/adversary"
 	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
+	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cpsattack: ")
 	model := flag.String("model", "", "model JSON file (default: built-in stressed westgrid)")
 	nActors := flag.Int("actors", 6, "number of random actors")
 	seed := flag.Uint64("seed", 1, "random seed (ownership + noise)")
@@ -35,7 +34,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
-	stopDebug := cli.StartDebug(*debugAddr)
+	logger := obs.New("cpsattack", obs.Sink{W: os.Stderr, Format: obs.Text, Min: obs.LevelInfo})
+	fatal := func(err error) {
+		logger.Error("fatal", obs.F("err", err))
+		os.Exit(1)
+	}
+
+	stopDebug := cli.StartDebug(*debugAddr, logger)
 	defer stopDebug()
 
 	ctx, stop := cli.SignalContext(*timeout)
@@ -43,26 +48,26 @@ func main() {
 
 	g, err := cli.LoadModel(*model, true)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	s := core.NewScenario(g, *nActors, *seed)
-	s.Parallel = parallel.Options{Context: ctx}
+	s.Parallel = parallel.Options{Context: ctx, Log: logger}
 	s.Targets = adversary.UniformTargets(g.AssetIDs(), *catk, *ps)
 
 	nm, err := cli.ParseNoiseMode(*mode)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	truth, err := s.Truth()
 	if err != nil {
 		cli.ExitCanceled(ctx, err, "interrupted while computing the ground-truth impact matrix")
-		log.Fatal(err)
+		fatal(err)
 	}
 	view, err := s.View(*sigma, nm, rng.Derive(*seed, 1))
 	if err != nil {
 		cli.ExitCanceled(ctx, err, "ground-truth matrix done; interrupted while computing the adversary view")
-		log.Fatal(err)
+		fatal(err)
 	}
 	plan, err := adversary.SolveResilient(adversary.Config{
 		Matrix: view, Targets: s.Targets, Budget: *budget,
@@ -70,7 +75,7 @@ func main() {
 	})
 	if err != nil {
 		cli.ExitCanceled(ctx, err, "impact matrices done; interrupted during the target-selection search")
-		log.Fatal(err)
+		fatal(err)
 	}
 	realized := adversary.Evaluate(plan, truth, s.Targets, adversary.EvaluateOptions{})
 

@@ -12,17 +12,16 @@ package main
 
 import (
 	"flag"
-	"log"
+	"os"
 	"sort"
 
 	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
+	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cpsdefend: ")
 	model := flag.String("model", "", "model JSON file (default: built-in stressed westgrid)")
 	nActors := flag.Int("actors", 4, "number of random actors")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -35,20 +34,30 @@ func main() {
 	samples := flag.Int("pa-samples", 16, "speculated-SA samples for Pa estimation")
 	mode := flag.String("mode", "graph", "noise mode: graph or matrix")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
+
+	logger := obs.New("cpsdefend", obs.Sink{W: os.Stderr, Format: obs.Text, Min: obs.LevelInfo})
+	fatal := func(err error) {
+		logger.Error("fatal", obs.F("err", err))
+		os.Exit(1)
+	}
+
+	stopDebug := cli.StartDebug(*debugAddr, logger)
+	defer stopDebug()
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
 
 	g, err := cli.LoadModel(*model, true)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	s := core.NewScenario(g, *nActors, *seed)
-	s.Parallel = parallel.Options{Context: ctx}
+	s.Parallel = parallel.Options{Context: ctx, Log: logger}
 	nm, err := cli.ParseNoiseMode(*mode)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	res, err := core.PlayRound(s, core.GameConfig{
@@ -65,7 +74,7 @@ func main() {
 	})
 	if err != nil {
 		cli.ExitCanceled(ctx, err, "round interrupted before settlement; no results to report")
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	style := "independent"

@@ -7,6 +7,7 @@
 //	cpsexp [-fig 2|3|4|5|6|7|all] [-trials N] [-seed S]
 //	       [-mode graph|matrix] [-csv DIR] [-quick]
 //	       [-journal FILE] [-resume] [-retries N] [-trial-timeout D]
+//	       [-obs DIR] [-log-level LEVEL]
 //	       [-metrics FILE] [-trace] [-debug-addr ADDR]
 //
 // -quick shrinks grids and trial counts for a fast smoke run; the default
@@ -20,6 +21,14 @@
 // -trial-timeout arms a watchdog that flags and once requeues trials that
 // exceed the per-trial deadline.
 //
+// -obs makes the run fully observable: a debug-level structured event
+// stream (events.jsonl) is written live into the directory, span tracing is
+// enabled, and at exit the directory receives metrics.json (telemetry
+// snapshot), trace.json (Chrome trace_event — open in chrome://tracing or
+// Perfetto), and manifest.json (seed, flags, artifact SHA-256s). cpsreport
+// turns the directory into a markdown report. -log-level sets the stderr
+// verbosity (debug, info, warn, error).
+//
 // -metrics dumps the telemetry snapshot (solver counters and logical-work
 // histograms — deterministic for a fixed seed and configuration) to a JSON
 // file at sweep end; -trace additionally collects per-solve span traces and
@@ -31,7 +40,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"time"
@@ -41,14 +49,13 @@ import (
 	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
 	"cpsguard/internal/experiments"
+	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/stats"
 	"cpsguard/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cpsexp: ")
 	fig := flag.String("fig", "all", "figure to regenerate: 2..7, all, ext, baseline, deception, or vectors")
 	trials := flag.Int("trials", 5, "random ownership draws per point")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -62,15 +69,34 @@ func main() {
 	resume := flag.Bool("resume", false, "replay completed trials from the -journal file and run only the remainder")
 	retries := flag.Int("retries", 0, "per-trial retries with capped backoff for transient solve errors")
 	trialTimeout := flag.Duration("trial-timeout", 0, "per-trial watchdog deadline; flagged trials are requeued once (0 = off)")
+	obsDir := flag.String("obs", "", "observability directory: live events.jsonl plus metrics/trace/manifest at exit (see cpsreport)")
+	logLevel := flag.String("log-level", "info", "stderr log verbosity: debug, info, warn, or error")
 	metricsPath := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at sweep end")
 	trace := flag.Bool("trace", false, "collect per-solve span traces and include them (plus wall-clock timings) in -metrics")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpsexp: %v\n", err)
+		os.Exit(2)
+	}
 	if *trace {
 		telemetry.Default().EnableTracing(true)
 	}
-	stopDebug := cli.StartDebug(*debugAddr)
+	run := cli.StartRun(cli.RunOptions{
+		Tool: "cpsexp", Seed: int64(*seed), Dir: *obsDir,
+		StderrLevel: lvl, Trace: *trace,
+	})
+	run.Manifest.CaptureFlags(flag.CommandLine)
+	logger := run.Log
+	fatal := func(err error) {
+		logger.Error("fatal", obs.F("err", err))
+		run.Close()
+		os.Exit(1)
+	}
+
+	stopDebug := cli.StartDebug(*debugAddr, logger)
 	defer stopDebug()
 
 	ctx, stop := cli.SignalContext(*timeout)
@@ -80,34 +106,40 @@ func main() {
 	cfg := experiments.Config{
 		Trials:   *trials,
 		Seed:     *seed,
-		Parallel: parallel.Options{Context: ctx},
+		Parallel: parallel.Options{Context: ctx, Log: logger},
 		Faults:   experiments.FaultPolicy{MaxFailureRate: *faultRate, Log: faultLog},
+		Log:      logger,
 	}
 	if *resume && *journal == "" {
-		log.Fatal("-resume requires -journal")
+		fatal(fmt.Errorf("-resume requires -journal"))
 	}
 	if *journal != "" || *retries > 0 || *trialTimeout > 0 {
 		sweep := &checkpoint.Sweep{
-			Retry:    checkpoint.Retrier{MaxRetries: *retries, Seed: *seed},
+			Retry:    checkpoint.Retrier{MaxRetries: *retries, Seed: *seed, Log: logger},
 			Watchdog: checkpoint.Watchdog{Deadline: *trialTimeout},
+			Log:      logger,
 		}
 		if *journal != "" {
 			var j *checkpoint.Journal
 			var rep *checkpoint.Replay
 			var err error
 			if *resume {
+				run.AddInput(*journal)
 				j, rep, err = checkpoint.Resume(*journal, checkpoint.Options{})
 				if err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				if rep.TruncatedBytes > 0 {
-					log.Printf("journal %s: truncated %d bytes of torn/corrupt tail", *journal, rep.TruncatedBytes)
+					logger.Warn("journal tail truncated",
+						obs.F("journal", *journal), obs.F("bytes", rep.TruncatedBytes))
 				}
-				log.Printf("journal %s: replaying %d completed trials", *journal, rep.Len())
+				logger.Info("resuming from journal",
+					obs.F("journal", *journal), obs.F("completed_trials", rep.Len()))
+				run.Manifest.Note("resumed %d trials from %s", rep.Len(), *journal)
 			} else {
 				j, err = checkpoint.Create(*journal, checkpoint.Options{})
 				if err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 			}
 			defer j.Close()
@@ -144,7 +176,7 @@ func main() {
 	} else if _, ok := runners[*fig]; ok {
 		order = []string{*fig}
 	} else {
-		log.Fatalf("unknown figure %q (want 2..7, all, ext, baseline, deception, vectors)", *fig)
+		fatal(fmt.Errorf("unknown figure %q (want 2..7, all, ext, baseline, deception, vectors)", *fig))
 	}
 
 	for fi, f := range order {
@@ -153,7 +185,7 @@ func main() {
 		if err != nil {
 			cli.ExitCanceled(ctx, err,
 				fmt.Sprintf("%d/%d figures completed (interrupted in fig %s)", fi, len(order), f))
-			log.Fatalf("fig %s: %v", f, err)
+			fatal(fmt.Errorf("fig %s: %w", f, err))
 		}
 		cli.MustPrintf("%s\n(%.1fs)\n\n", tb.Render(), time.Since(start).Seconds())
 		if *chart {
@@ -165,24 +197,36 @@ func main() {
 			path := filepath.Join(*csvDir, "fig"+f+".csv")
 			data := []byte(tb.CSV())
 			if err := atomicio.MkdirAllAndWrite(path, data, 0o644); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
-			log.Printf("wrote %s (%d bytes, crc32 %08x)", path, len(data), tb.Checksum())
+			run.AddOutput(path)
+			logger.Info("wrote csv", obs.F("path", path), obs.F("bytes", len(data)),
+				obs.F("crc32", fmt.Sprintf("%08x", tb.Checksum())))
 		}
 	}
 	if sweep := cfg.Sweep; sweep != nil && sweep.Journal != nil {
-		log.Printf("journal %s: %d trials executed, %d replayed, seq %d",
-			sweep.Journal.Path(), sweep.Executed(), sweep.Replayed(), sweep.Journal.Seq())
-		for _, id := range sweep.Flagged() {
-			log.Printf("watchdog flagged %s (exceeded %v; requeued)", id, *trialTimeout)
+		logger.Info("journal summary", obs.F("journal", sweep.Journal.Path()),
+			obs.F("executed", sweep.Executed()), obs.F("replayed", sweep.Replayed()),
+			obs.F("seq", sweep.Journal.Seq()))
+		run.AddOutput(sweep.Journal.Path())
+	}
+	// Fault-tolerance summary: one structured event per failed-but-tolerated
+	// trial, plus an aggregate, replacing the old freeform stderr block.
+	if fails := faultLog.Failures(); len(fails) > 0 {
+		logger.Warn("tolerated failed trials", obs.F("failed", len(fails)),
+			obs.F("trials", faultLog.Trials()),
+			obs.F("rate", faultLog.FailureRate()))
+		for _, f := range fails {
+			logger.Warn("tolerated trial failure", obs.F("point", f.Point),
+				obs.F("trial_index", f.Trial), obs.F("err", f.Err))
 		}
 	}
-	if n := len(faultLog.Failures()); n > 0 {
-		fmt.Fprintf(os.Stderr, "tolerated %d/%d failed trials (rate %.3f):\n",
-			n, faultLog.Trials(), faultLog.FailureRate())
-		for _, f := range faultLog.Failures() {
-			fmt.Fprintf(os.Stderr, "  %s\n", f.Error())
-		}
+	cli.WriteMetrics(*metricsPath, *trace, logger)
+	if *metricsPath != "" {
+		run.AddOutput(*metricsPath)
 	}
-	cli.WriteMetrics(*metricsPath, *trace)
+	if err := run.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "cpsexp: %v\n", err)
+		os.Exit(1)
+	}
 }

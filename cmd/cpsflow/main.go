@@ -11,37 +11,46 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"sort"
 
 	"cpsguard/internal/actors"
 	"cpsguard/internal/cli"
 	"cpsguard/internal/flow"
 	"cpsguard/internal/lp"
+	"cpsguard/internal/obs"
 	"cpsguard/internal/rng"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cpsflow: ")
 	model := flag.String("model", "", "model JSON file (default: built-in westgrid)")
 	stress := flag.Bool("stress", true, "stress the built-in model (ignored with -model)")
 	nActors := flag.Int("actors", 0, "divide profits among N random actors (0 = skip)")
 	seed := flag.Uint64("seed", 1, "ownership random seed")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
+
+	logger := obs.New("cpsflow", obs.Sink{W: os.Stderr, Format: obs.Text, Min: obs.LevelInfo})
+	fatal := func(err error) {
+		logger.Error("fatal", obs.F("err", err))
+		os.Exit(1)
+	}
+
+	stopDebug := cli.StartDebug(*debugAddr, logger)
+	defer stopDebug()
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
 
 	g, err := cli.LoadModel(*model, *stress)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	r, err := flow.DispatchOpts(g, flow.Options{LP: lp.Options{Ctx: ctx}})
 	if err != nil {
 		cli.ExitCanceled(ctx, err, "dispatch interrupted; no flows to report")
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	cli.MustPrintln(g)
@@ -76,7 +85,7 @@ func main() {
 		o := actors.RandomOwnership(g, *nActors, rng.New(*seed))
 		p, err := actors.LMPDivision{}.Divide(g, r, o)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		cli.MustPrintf("\nper-actor profits (%d actors, seed %d):\n", *nActors, *seed)
 		as := p

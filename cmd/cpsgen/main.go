@@ -4,33 +4,56 @@
 //
 // Usage:
 //
-//	cpsgen [-stress] [-o model.json]
+//	cpsgen [-stress] [-o model.json] [-obs DIR] [-debug-addr ADDR]
+//
+// -obs writes the run's observability artifacts (events.jsonl, metrics.json,
+// trace.json, manifest.json) into the directory; the manifest records the
+// full flag set and the SHA-256 of the written model, so a model file can be
+// traced back to the exact invocation that produced it.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"cpsguard/internal/atomicio"
 	"cpsguard/internal/cli"
 	"cpsguard/internal/graph"
 	"cpsguard/internal/gridgen"
+	"cpsguard/internal/obs"
 	"cpsguard/internal/westgrid"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cpsgen: ")
 	stress := flag.Bool("stress", false, "apply the paper's stress adjustments (capacity −25%, demand +65%)")
 	dot := flag.Bool("dot", false, "emit Graphviz dot instead of JSON (render of the paper's Figure 1)")
 	regions := flag.Int("regions", 0, "generate a synthetic system with this many regions instead of the six-state model")
 	seed := flag.Uint64("seed", 1, "generator seed (with -regions)")
 	out := flag.String("o", "", "output file (default stdout)")
+	obsDir := flag.String("obs", "", "observability directory: events.jsonl plus metrics/trace/manifest at exit (see cpsreport)")
+	logLevel := flag.String("log-level", "info", "stderr log verbosity: debug, info, warn, or error")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpsgen: %v\n", err)
+		os.Exit(2)
+	}
+	run := cli.StartRun(cli.RunOptions{Tool: "cpsgen", Seed: int64(*seed), Dir: *obsDir, StderrLevel: lvl})
+	run.Manifest.CaptureFlags(flag.CommandLine)
+	logger := run.Log
+	fatal := func(err error) {
+		logger.Error("fatal", obs.F("err", err))
+		run.Close()
+		os.Exit(1)
+	}
+
+	stopDebug := cli.StartDebug(*debugAddr, logger)
+	defer stopDebug()
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
@@ -41,7 +64,7 @@ func main() {
 		g, err = gridgen.Build(gridgen.Config{Regions: *regions, Seed: *seed, Stress: *stress})
 		if err != nil {
 			cli.ExitCanceled(ctx, err, "generation interrupted; no model written")
-			log.Fatal(err)
+			fatal(err)
 		}
 	} else {
 		g = westgrid.Build(westgrid.Options{Stress: *stress})
@@ -56,18 +79,24 @@ func main() {
 		var err error
 		data, err = json.MarshalIndent(g, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		data = append(data, '\n')
 	}
 	if *out == "" {
 		cli.MustWrite(os.Stdout, "stdout", data)
+		run.Close()
 		return
 	}
 	// Atomic write: a killed cpsgen can never leave a half-written model
 	// that a downstream tool would ingest as truncated-but-valid JSON.
 	if err := atomicio.MkdirAllAndWrite(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s: %s\n", *out, g)
+	run.AddOutput(*out)
+	logger.Info("wrote model", obs.F("path", *out), obs.F("system", g.String()),
+		obs.F("bytes", len(data)))
+	if err := run.Close(); err != nil {
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,176 @@
+// Command cpsreport turns a run's observability directory (written by
+// cpsexp/cpsgen -obs) into a human-readable markdown report: run identity
+// and flags from manifest.json, per-stage and per-trial timing from the
+// metrics.json span window, fallback-chain usage from the counters,
+// warn/error highlights from events.jsonl, and — when the run used a
+// checkpoint journal — per-trial outcomes joined by trial ID.
+//
+// Usage:
+//
+//	cpsreport -run DIR [-o report.md] [-journal FILE]
+//	cpsreport -run DIR -diff DIR2
+//
+// -diff compares two run directories instead: manifest differences (seed,
+// flags, config and artifact digests) plus deltas over the deterministic
+// telemetry counters, so two runs of the same seeded sweep can be checked
+// for behavioral drift artifact-by-artifact.
+//
+// Only manifest.json is required; every other artifact degrades to a
+// "missing" note so a crashed run still yields a report.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cpsguard/internal/atomicio"
+	"cpsguard/internal/checkpoint"
+	"cpsguard/internal/cli"
+	"cpsguard/internal/manifest"
+	"cpsguard/internal/obs"
+	"cpsguard/internal/telemetry"
+)
+
+func main() {
+	runDir := flag.String("run", "", "run directory to report on (holds manifest.json etc.)")
+	diffDir := flag.String("diff", "", "second run directory: compare instead of report")
+	journalPath := flag.String("journal", "", "checkpoint journal to join trials against (default: auto-detect from the manifest)")
+	out := flag.String("o", "", "write the report to this file (default stdout)")
+	flag.Parse()
+
+	if *runDir == "" {
+		fmt.Fprintln(os.Stderr, "cpsreport: -run DIR is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := loadRun(*runDir, *journalPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpsreport: %v\n", err)
+		os.Exit(1)
+	}
+	var report string
+	if *diffDir != "" {
+		b, err := loadRun(*diffDir, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpsreport: %v\n", err)
+			os.Exit(1)
+		}
+		report = renderDiff(a, b)
+	} else {
+		report = renderReport(a)
+	}
+	if *out == "" {
+		cli.MustWrite(os.Stdout, "stdout", []byte(report))
+		return
+	}
+	if err := atomicio.MkdirAllAndWrite(*out, []byte(report), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "cpsreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadRun reads a run directory. The manifest is mandatory (it is the run's
+// identity); metrics, trace, events, and journal degrade to Missing notes.
+func loadRun(dir, journalPath string) (*runData, error) {
+	m, err := manifest.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &runData{Dir: dir, Manifest: m}
+	miss := func(format string, args ...any) {
+		d.Missing = append(d.Missing, fmt.Sprintf(format, args...))
+	}
+
+	if data, err := os.ReadFile(filepath.Join(dir, "metrics.json")); err != nil {
+		miss("metrics.json: %v", err)
+	} else if snap, err := telemetry.ReadSnapshot(data); err != nil {
+		miss("metrics.json: %v", err)
+	} else {
+		d.Snapshot = snap
+	}
+
+	if data, err := os.ReadFile(filepath.Join(dir, "trace.json")); err != nil {
+		miss("trace.json: %v", err)
+	} else if tr, err := telemetry.ReadChromeTrace(data); err != nil {
+		miss("trace.json: %v", err)
+	} else {
+		d.Trace = tr
+	}
+
+	if events, err := loadEvents(filepath.Join(dir, "events.jsonl")); err != nil {
+		miss("events.jsonl: %v", err)
+	} else {
+		d.Events = events
+	}
+
+	if journalPath == "" {
+		journalPath = detectJournal(m)
+	}
+	if journalPath != "" {
+		if rep, err := loadJournal(journalPath, dir); err != nil {
+			miss("journal %s: %v", journalPath, err)
+		} else {
+			d.Journal = rep
+		}
+	}
+	return d, nil
+}
+
+// loadEvents parses an events.jsonl stream; unparseable lines are skipped
+// (a crash can tear the final line) but counted via the returned error only
+// when nothing parsed at all.
+func loadEvents(path string) ([]obs.DecodedEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []obs.DecodedEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := obs.DecodeJSONL(line)
+		if err != nil {
+			continue // torn tail line from a crash
+		}
+		events = append(events, ev)
+	}
+	return events, sc.Err()
+}
+
+// detectJournal finds a journal among the manifest's outputs: cpsexp
+// registers the -journal file there, and it is the only non-CSV/JSON
+// output a sweep produces.
+func detectJournal(m *manifest.Manifest) string {
+	for _, out := range m.Outputs {
+		base := strings.ToLower(filepath.Base(out.Path))
+		if strings.Contains(base, "journal") || strings.HasSuffix(base, ".jnl") {
+			return out.Path
+		}
+	}
+	return ""
+}
+
+// loadJournal opens a checkpoint journal, trying the recorded path first
+// and falling back to the run directory (the run may have been archived
+// together with its artifacts).
+func loadJournal(path, dir string) (*checkpoint.Replay, error) {
+	rep, err := checkpoint.Load(path)
+	if err == nil {
+		return rep, nil
+	}
+	if alt := filepath.Join(dir, filepath.Base(path)); alt != path {
+		if rep2, err2 := checkpoint.Load(alt); err2 == nil {
+			return rep2, nil
+		}
+	}
+	return nil, err
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cpsguard/internal/manifest"
+	"cpsguard/internal/obs"
+	"cpsguard/internal/telemetry"
+)
+
+func syntheticRun(t *testing.T) *runData {
+	t.Helper()
+	m := manifest.New("cpsexp", 7)
+	m.RunID = "cpsexp-20260101T000000-s7"
+	m.Started = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	m.Finished = m.Started.Add(3 * time.Second)
+	m.Flags = map[string]string{"fig": "5", "seed": "7"}
+	m.Outputs = []manifest.FileDigest{{Path: "fig5.csv", SHA256: strings.Repeat("ab", 32), Bytes: 78}}
+	return &runData{
+		Dir:      "/tmp/x",
+		Manifest: m,
+		Snapshot: &telemetry.Snapshot{
+			Counters: map[string]int64{
+				"checkpoint.trials_executed": 2,
+				"checkpoint.retries":         1,
+				"adversary.fallbacks":        1,
+				"lp.solves":                  10,
+			},
+			Histograms: map[string]telemetry.HistogramSnapshot{
+				"adversary.fallback_depth": {Edges: []int64{0, 1, 2}, Buckets: []int64{3, 1, 0, 0}, Count: 4, Sum: 1},
+			},
+			Spans: []telemetry.SpanRecord{
+				{ID: 1, Stage: "experiments.point", Problem: "fig5", DurationNS: 3e9},
+				{ID: 2, ParentID: 1, Stage: "experiments.trial", Problem: "s7|fig5|t0", DurationNS: 2e9, Retries: 1},
+				{ID: 3, ParentID: 1, Stage: "experiments.trial", Problem: "s7|fig5|t1", DurationNS: 1e9,
+					Degradations: []string{"watchdog: deadline exceeded, requeued"}},
+				{ID: 4, ParentID: 2, Stage: "lp.solve", Work: 120, DurationNS: 5e8},
+			},
+		},
+		Events: []obs.DecodedEvent{
+			{Level: "info", Msg: "wrote csv"},
+			{Level: "warn", Stage: "fig5", Trial: "s7|fig5|t1", Msg: "retrying after transient failure"},
+		},
+	}
+}
+
+func TestRenderReportSections(t *testing.T) {
+	out := renderReport(syntheticRun(t))
+	for _, want := range []string{
+		"# Run report: cpsexp-20260101T000000-s7",
+		"## Flags",
+		"| `-fig` | `5` |",
+		"## Artifacts",
+		"`fig5.csv`",
+		"## Stage breakdown",
+		"`experiments.trial` | 2 | 3s",
+		"## Trials",
+		"2 executed, 0 replayed from journal, 1 retries",
+		"s7\\|fig5\\|t0",
+		"⚑", // watchdog flag on t1
+		"## Fallbacks and degradations",
+		"`adversary.fallbacks` | 1",
+		"≤0:3",
+		"`watchdog`×1",
+		"## Events",
+		"retrying after transient failure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderReportTrialsSortedByDuration(t *testing.T) {
+	out := renderReport(syntheticRun(t))
+	slow := strings.Index(out, "s7\\|fig5\\|t0")
+	fast := strings.Index(out, "s7\\|fig5\\|t1")
+	if slow < 0 || fast < 0 || slow > fast {
+		t.Fatalf("trial rows not duration-sorted (t0 at %d, t1 at %d)", slow, fast)
+	}
+}
+
+func TestRenderDiff(t *testing.T) {
+	a, b := syntheticRun(t), syntheticRun(t)
+	b.Manifest.Seed = 8
+	b.Manifest.Flags["seed"] = "8"
+	b.Snapshot.Counters["lp.solves"] = 14
+	out := renderDiff(a, b)
+	for _, want := range []string{
+		"# Run comparison",
+		"## Manifest differences",
+		"| seed | 7 | 8 |",
+		"## Counter deltas",
+		"| `lp.solves` | 10 | 14 | +4 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDiffIdenticalRuns(t *testing.T) {
+	out := renderDiff(syntheticRun(t), syntheticRun(t))
+	if !strings.Contains(out, "Manifests are equivalent") {
+		t.Errorf("identical manifests not reported as equivalent:\n%s", out)
+	}
+	if !strings.Contains(out, "All counters identical") {
+		t.Errorf("identical counters not reported as identical:\n%s", out)
+	}
+}
+
+func TestLoadRunDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	m := manifest.New("cpsgen", 1)
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadRun(dir, "")
+	if err != nil {
+		t.Fatalf("loadRun with manifest only: %v", err)
+	}
+	if len(d.Missing) == 0 {
+		t.Error("expected missing-artifact notes for metrics/trace/events")
+	}
+	out := renderReport(d)
+	if !strings.Contains(out, "> missing:") {
+		t.Errorf("report does not surface missing artifacts:\n%s", out)
+	}
+}
+
+func TestLoadRunRequiresManifest(t *testing.T) {
+	if _, err := loadRun(t.TempDir(), ""); err == nil {
+		t.Fatal("loadRun without manifest.json should fail")
+	}
+}
+
+func TestLoadEventsSkipsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	data := `{"level":"info","msg":"ok"}` + "\n" + `{"level":"warn","ms` // torn mid-write
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := loadEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Msg != "ok" {
+		t.Fatalf("want 1 parsed event, got %+v", events)
+	}
+}

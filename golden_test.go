@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"testing"
 
+	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
 	"cpsguard/internal/experiments"
+	"cpsguard/internal/obs"
 	"cpsguard/internal/telemetry"
 )
 
@@ -66,6 +68,43 @@ func TestGoldenFig5CSV(t *testing.T) {
 	}
 	if string(got) != string(want) {
 		t.Fatalf("golden CSV drifted from %s\n--- want ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}
+
+// TestGoldenFig5WithObservability re-runs the golden configuration with the
+// whole observability stack live — structured event logger on a debug sink,
+// run manifest, span tracing at full run capacity — and requires the product
+// CSV to stay byte-identical to the committed fixture. The stack is a pure
+// observer: if wiring it in shifts a single digit, this fails.
+func TestGoldenFig5WithObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline golden test")
+	}
+	dir := t.TempDir()
+	run := cli.StartRun(cli.RunOptions{Tool: "golden", Seed: 7, Dir: dir, StderrLevel: obs.LevelError})
+
+	cfg := goldenCfg()
+	cfg.Log = run.Log
+	tb, err := experiments.Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatalf("run artifacts: %v", err)
+	}
+	telemetry.Default().EnableTracing(false)
+
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_fig5.csv"))
+	if err != nil {
+		t.Fatalf("missing fixture (run TestGoldenFig5CSV with -update to create): %v", err)
+	}
+	if got := tb.CSV(); got != string(want) {
+		t.Fatalf("observability stack perturbed the golden CSV\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	for _, artifact := range []string{"events.jsonl", "metrics.json", "trace.json", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(dir, artifact)); err != nil {
+			t.Errorf("run artifact %s not written: %v", artifact, err)
+		}
 	}
 }
 

@@ -197,7 +197,7 @@ func (in *instance) plan(set []int, nodes int, proven bool) *Plan {
 // Solve finds the optimal attack by branch and bound. The empty attack
 // (value 0) is always feasible, so Anticipated ≥ 0.
 func Solve(cfg Config) (plan *Plan, err error) {
-	sp := telemetry.Default().StartSpan("adversary.solve", "")
+	sp, _ := telemetry.Default().StartSpanCtx(cfg.Ctx, "adversary.solve", "")
 	defer func() { recordSolve(sp, plan, err) }()
 	in, err := newInstance(cfg)
 	if err != nil {
@@ -429,7 +429,7 @@ func SolveMILP(cfg Config) (*Plan, error) {
 	}
 	p.AddConstraint(lp.Constraint{Coefs: budgetCoefs, Sense: lp.LE, RHS: in.budget})
 
-	sol, err := milp.Solve(milp.Problem{LP: p, Binary: binary}, milp.Options{})
+	sol, err := milp.Solve(milp.Problem{LP: p, Binary: binary}, milp.Options{Ctx: cfg.Ctx})
 	if err != nil {
 		return nil, err
 	}

@@ -9,7 +9,9 @@ import (
 	"hash/fnv"
 	"time"
 
+	"cpsguard/internal/obs"
 	"cpsguard/internal/rng"
+	"cpsguard/internal/telemetry"
 )
 
 // Retrier retries transient errors with capped exponential backoff. The
@@ -39,6 +41,9 @@ type Retrier struct {
 	// Sleep is the injectable sleeper (default: timer that aborts early
 	// when ctx fires). Tests install a fake clock here.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Log, when non-nil, records every granted retry as a structured
+	// warn event keyed by the trial ID.
+	Log *obs.Logger
 }
 
 func (r Retrier) baseDelay() time.Duration {
@@ -145,10 +150,15 @@ func Do[T any](ctx context.Context, r Retrier, key string, fn func() (T, error))
 		if sctx == nil {
 			sctx = context.Background()
 		}
-		if serr := r.sleep(sctx, r.Backoff(key, attempt)); serr != nil {
+		backoff := r.Backoff(key, attempt)
+		if serr := r.sleep(sctx, backoff); serr != nil {
 			return zero, err // canceled mid-backoff: surface the trial error
 		}
 		mRetries.Inc()
+		// The active trial span (threaded via ctx) accounts the retry.
+		telemetry.SpanFromContext(ctx).AddRetries(1)
+		r.Log.WithTrial(key).Warn("retrying after transient failure",
+			obs.F("attempt", attempt+1), obs.F("backoff", backoff), obs.F("err", err))
 	}
 }
 

@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"cpsguard/internal/obs"
+	"cpsguard/internal/telemetry"
 )
 
 // TrialID keys a trial deterministically by (seed, experiment point, trial
@@ -64,6 +67,9 @@ type Sweep struct {
 	Retry Retrier
 	// Watchdog bounds per-trial wall-clock time.
 	Watchdog Watchdog
+	// Log, when non-nil, records replayed trials (debug) and watchdog
+	// flags (warn) as structured events.
+	Log *obs.Logger
 
 	mu       sync.Mutex
 	replayed int
@@ -102,11 +108,12 @@ func (s *Sweep) Flagged() []string {
 	return append([]string(nil), s.flagged...)
 }
 
-func (s *Sweep) noteReplayed() {
+func (s *Sweep) noteReplayed(id string) {
 	mReplayed.Inc()
 	s.mu.Lock()
 	s.replayed++
 	s.mu.Unlock()
+	s.Log.WithTrial(id).Debug("trial replayed from journal")
 }
 
 func (s *Sweep) noteExecuted() {
@@ -121,6 +128,8 @@ func (s *Sweep) noteFlagged(id string) {
 	s.mu.Lock()
 	s.flagged = append(s.flagged, id)
 	s.mu.Unlock()
+	s.Log.WithTrial(id).Warn("watchdog flagged trial, requeueing",
+		obs.F("deadline", s.Watchdog.Deadline))
 }
 
 // RunTrial executes one trial under the sweep's policies:
@@ -143,7 +152,7 @@ func RunTrial[T any](s *Sweep, ctx context.Context, id string, fn func(ctx conte
 		return fn(ctx)
 	}
 	if rec, ok := s.Replay.Lookup(id); ok {
-		s.noteReplayed()
+		s.noteReplayed(id)
 		if !rec.OK {
 			return zero, &ReplayedFailure{ID: id, Msg: rec.Error}
 		}
@@ -177,6 +186,7 @@ func RunTrial[T any](s *Sweep, ctx context.Context, id string, fn func(ctx conte
 		if err != nil && errors.Is(err, context.DeadlineExceeded) &&
 			ctx.Err() == nil && a < attempts-1 {
 			s.noteFlagged(id) // watchdog trip, not the caller's deadline
+			telemetry.SpanFromContext(ctx).AddDegradations("watchdog: deadline exceeded, requeued")
 			continue
 		}
 		break

@@ -3,37 +3,44 @@
 package cli
 
 import (
-	"log"
+	"os"
 
+	"cpsguard/internal/obs"
 	"cpsguard/internal/telemetry"
 )
 
 // StartDebug starts telemetry's debug HTTP endpoint (/metrics, /debug/vars,
 // /debug/pprof) when addr is non-empty and returns a shutdown func. An empty
-// addr is a no-op. The bound address is logged so ":0" is usable.
-func StartDebug(addr string) func() {
+// addr is a no-op. The bound address is logged so ":0" is usable. A nil
+// logger is tolerated (events are dropped); a bind failure is fatal — the
+// operator asked for an endpoint the process cannot provide.
+func StartDebug(addr string, log *obs.Logger) func() {
 	if addr == "" {
 		return func() {}
 	}
 	srv, bound, err := telemetry.Default().ServeDebug(addr)
 	if err != nil {
-		log.Fatalf("debug endpoint: %v", err)
+		log.Error("debug endpoint failed", obs.F("addr", addr), obs.F("err", err))
+		os.Exit(1)
 	}
-	log.Printf("debug endpoint listening on http://%s (/metrics, /debug/pprof)", bound)
+	log.Info("debug endpoint listening",
+		obs.F("url", "http://"+bound), obs.F("paths", "/metrics /debug/vars /debug/pprof"))
 	return func() { srv.Close() }
 }
 
 // WriteMetrics dumps the default telemetry registry to path when path is
 // non-empty. The default dump holds only the deterministic sections
 // (counters, logical-work histograms); withTrace adds the wall-clock timings
-// and the retained span window.
-func WriteMetrics(path string, withTrace bool) {
+// and the retained span window. A write failure is fatal: the operator asked
+// for a snapshot the process cannot deliver.
+func WriteMetrics(path string, withTrace bool, log *obs.Logger) {
 	if path == "" {
 		return
 	}
 	opts := telemetry.SnapshotOptions{Timings: withTrace, Spans: withTrace}
 	if err := telemetry.Default().WriteSnapshot(path, opts); err != nil {
-		log.Fatalf("metrics snapshot: %v", err)
+		log.Error("metrics snapshot failed", obs.F("path", path), obs.F("err", err))
+		os.Exit(1)
 	}
-	log.Printf("wrote metrics snapshot %s", path)
+	log.Info("wrote metrics snapshot", obs.F("path", path))
 }

@@ -30,6 +30,7 @@ import (
 	"cpsguard/internal/noise"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
+	"cpsguard/internal/telemetry"
 )
 
 // NoiseMode selects how an agent's noisy view is produced.
@@ -230,6 +231,11 @@ func PlayRound(s *Scenario, cfg GameConfig) (*GameResult, error) {
 		if err := cfg.Ctx.Err(); err != nil {
 			return nil, err
 		}
+	}
+	sp, roundCtx := telemetry.Default().StartSpanCtx(cfg.Ctx, "core.round", cfg.NoiseMode.String())
+	if sp != nil {
+		cfg.Ctx = roundCtx // adversary + defender solves nest under the round
+		defer sp.End()
 	}
 	truth, err := s.Truth()
 	if err != nil {

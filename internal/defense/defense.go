@@ -29,6 +29,7 @@ import (
 	"cpsguard/internal/noise"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
+	"cpsguard/internal/telemetry"
 )
 
 // Costs maps target IDs to their defense cost Cd(t).
@@ -337,6 +338,12 @@ func EstimateAttackProb(believed *impact.Matrix, targets []adversary.Target,
 	}
 	mPaEstimates.Inc()
 	mPaSamples.Add(int64(samples))
+	sp, spanCtx := telemetry.Default().StartSpanCtx(par.Context, "defense.pa_estimate", "")
+	if sp != nil {
+		sp.SetWork(int64(samples))
+		par.Context = spanCtx // per-sample adversary solves nest under this span
+		defer sp.End()
+	}
 	plans, err := parallel.Map(samples, par, func(i int) ([]string, error) {
 		rs := rng.Derive(seed, uint64(i))
 		view := *believed // shallow copy; IM replaced below

@@ -21,6 +21,7 @@ import (
 	"cpsguard/internal/checkpoint"
 	"cpsguard/internal/core"
 	"cpsguard/internal/graph"
+	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
 	"cpsguard/internal/stats"
@@ -68,6 +69,12 @@ type Config struct {
 	// trial's randomness derives from its (seed, point, trial) key, a
 	// resumed figure is byte-identical to an uninterrupted one.
 	Sweep *checkpoint.Sweep
+	// Log, when non-nil, receives structured progress events: point
+	// start/finish at debug, tolerated trial failures at warn, point
+	// failures at error, each stamped with the point as its stage and
+	// failed trials with their durable trial ID. A nil logger is silent;
+	// logging is an observer only and never changes results.
+	Log *obs.Logger
 }
 
 func (c Config) graph() *graph.Graph {

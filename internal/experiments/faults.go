@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"cpsguard/internal/checkpoint"
+	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/telemetry"
 )
@@ -116,11 +117,19 @@ func runTrials[T any](cfg Config, point string,
 	mPoints.Inc()
 	mTrials.Add(int64(n))
 	mTrialsHist.Observe(int64(n))
-	sp := telemetry.Default().StartSpan("experiments.point", point)
-	sp.SetWork(int64(n))
-	defer sp.End()
+	par := cfg.Parallel
+	sp, pointCtx := telemetry.Default().StartSpanCtx(par.Context, "experiments.point", point)
+	if sp != nil {
+		sp.SetWork(int64(n))
+		par.Context = pointCtx // trial spans nest under the point
+		defer sp.End()
+	}
+	log := cfg.Log.WithStage(point)
+	log.Debug("point started", obs.F("trials", n))
 	wrapped := func(ctx context.Context, i int) (T, error) {
 		id := checkpoint.TrialID(seed, point, i)
+		tsp, ctx := telemetry.Default().StartSpanCtx(ctx, "experiments.trial", id)
+		defer tsp.End()
 		return checkpoint.RunTrial(cfg.Sweep, ctx, id, func(ctx context.Context) (T, error) {
 			if pol.Hook != nil {
 				if err := pol.Hook("experiments.trial"); err != nil {
@@ -133,11 +142,12 @@ func runTrials[T any](cfg Config, point string,
 	}
 	// Per-trial accounting streams as each trial settles (it used to be
 	// batched after the whole point), chaining any caller-provided hook.
-	par := cfg.Parallel
 	chained := par.OnSettle
 	par.OnSettle = func(i int, err error) {
 		if err != nil {
 			mTrialFailures.Inc()
+			log.WithTrial(checkpoint.TrialID(seed, point, i)).Warn("trial failed",
+				obs.F("trial_index", i), obs.F("err", err))
 		}
 		pol.Log.record(point, i, err)
 		if chained != nil {
@@ -146,6 +156,7 @@ func runTrials[T any](cfg Config, point string,
 	}
 	results, errs, ctxErr := parallel.MapSettle(n, par, wrapped)
 	if ctxErr != nil {
+		log.Error("point canceled", obs.F("err", ctxErr))
 		return nil, fmt.Errorf("experiments: %s: %w", point, ctxErr)
 	}
 	ok := results[:0:0]
@@ -162,16 +173,21 @@ func runTrials[T any](cfg Config, point string,
 		ok = append(ok, results[i])
 	}
 	if failed == 0 {
+		log.Debug("point finished", obs.F("trials", n))
 		return ok, nil
 	}
 	sp.AddDegradations(fmt.Sprintf("%d/%d trials failed", failed, n))
 	rate := float64(failed) / float64(n)
 	if rate > pol.MaxFailureRate || len(ok) == 0 {
 		mPointFailures.Inc()
+		log.Error("point failed", obs.F("failed", failed), obs.F("trials", n),
+			obs.F("rate", rate), obs.F("tolerated", pol.MaxFailureRate))
 		return nil, fmt.Errorf("experiments: %s: %d/%d trials failed (rate %.2f > tolerated %.2f), first: %w",
 			point, failed, n, rate, pol.MaxFailureRate, firstErr)
 	}
 	mTolerated.Add(int64(failed))
+	log.Warn("tolerated trial failures", obs.F("failed", failed), obs.F("trials", n),
+		obs.F("rate", rate))
 	return ok, nil
 }
 

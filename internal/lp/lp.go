@@ -285,7 +285,7 @@ func (p *Problem) SolveOpts(opts Options) (sol *Solution, err error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	sp := telemetry.Default().StartSpan("lp.solve", p.name)
+	sp, _ := telemetry.Default().StartSpanCtx(opts.Ctx, "lp.solve", p.name)
 	defer func() { recordSolve(sp, sol, err) }()
 	g := newGuard(opts)
 	if st, stop := g.at("lp.enter"); stop {

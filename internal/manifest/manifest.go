@@ -1,0 +1,336 @@
+// Package manifest records what a run *was*: the seed, the full flag set,
+// the inputs and outputs with their SHA-256 digests, and the toolchain —
+// everything needed to answer "can I trust / reproduce / diff this run?"
+// months later from the artifact directory alone.
+//
+// Every cpsexp/cpsgen invocation builds one Manifest as it runs (flags at
+// startup, artifacts as they are written) and persists it as manifest.json
+// through internal/atomicio, so a crash never leaves a half-written
+// manifest next to complete-looking CSVs. cmd/cpsreport joins the manifest
+// with the event log, trial journal, and telemetry snapshot to reconstruct
+// the run, and its -diff mode compares two manifests field by field.
+//
+// The config checksum hashes the sorted "name=value\n" flag list, so two
+// runs with the same effective configuration — regardless of flag order or
+// which values were defaulted vs. explicit — get the same checksum.
+package manifest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"cpsguard/internal/atomicio"
+)
+
+// Filename is the canonical manifest file name inside a run directory.
+const Filename = "manifest.json"
+
+// Schema identifies the manifest format for forward compatibility.
+const Schema = "cpsguard-manifest/v1"
+
+// A FileDigest records one input or output artifact.
+type FileDigest struct {
+	// Path is the file path as the tool saw it (flag value or run-dir
+	// relative artifact name).
+	Path string `json:"path"`
+	// SHA256 is the hex digest of the file contents; "" when the file
+	// could not be read (the Error field says why).
+	SHA256 string `json:"sha256,omitempty"`
+	// Bytes is the file size.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Error carries the read failure, if any, so a missing input is
+	// visible in the manifest instead of silently absent.
+	Error string `json:"error,omitempty"`
+}
+
+// A Manifest is the reproducibility record for one tool invocation.
+type Manifest struct {
+	Schema string `json:"schema"`
+	// RunID ties the manifest to the event log and telemetry artifacts of
+	// the same invocation.
+	RunID string `json:"run_id"`
+	// Tool is the binary name ("cpsexp", "cpsgen", ...).
+	Tool string `json:"tool"`
+	// Started/Finished bracket the run in UTC; Finished is zero until
+	// Finish is called.
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Seed is the run's top-level RNG seed (0 when the tool has none).
+	Seed int64 `json:"seed,omitempty"`
+	// Flags is the full effective flag set, name → rendered value,
+	// including defaulted flags.
+	Flags map[string]string `json:"flags,omitempty"`
+	// ConfigSHA256 is the checksum of the sorted flag list; equal
+	// checksums mean identical effective configuration.
+	ConfigSHA256 string `json:"config_sha256,omitempty"`
+	// GoVersion and GOOS/GOARCH pin the toolchain.
+	GoVersion string `json:"go_version"`
+	Platform  string `json:"platform"`
+	// Inputs and Outputs are the hashed artifacts, in registration order.
+	Inputs  []FileDigest `json:"inputs,omitempty"`
+	Outputs []FileDigest `json:"outputs,omitempty"`
+	// TelemetrySHA256 is the digest of the telemetry snapshot written
+	// alongside this manifest (metrics.json), when one was written.
+	TelemetrySHA256 string `json:"telemetry_sha256,omitempty"`
+	// Notes carries free-form tool remarks ("resumed 3 trials from
+	// journal"), in emission order.
+	Notes []string `json:"notes,omitempty"`
+
+	clock func() time.Time
+}
+
+// RunID derives a human-sortable run identifier: tool, UTC timestamp, and
+// seed. It is intentionally deterministic given (tool, now, seed) so tests
+// can pin it.
+func RunID(tool string, now time.Time, seed int64) string {
+	return fmt.Sprintf("%s-%s-s%x", tool, now.UTC().Format("20060102T150405"), uint64(seed))
+}
+
+// New starts a manifest for one invocation of tool, stamping the start time
+// and toolchain. The run ID is derived from the start instant and seed.
+func New(tool string, seed int64) *Manifest {
+	return newAt(tool, seed, time.Now)
+}
+
+// newAt is New with an injectable clock, for tests.
+func newAt(tool string, seed int64, clock func() time.Time) *Manifest {
+	now := clock().UTC()
+	return &Manifest{
+		Schema:    Schema,
+		RunID:     RunID(tool, now, seed),
+		Tool:      tool,
+		Started:   now,
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
+		clock:     clock,
+	}
+}
+
+// SetClock replaces the manifest's time source (tests). nil restores
+// time.Now.
+func (m *Manifest) SetClock(clock func() time.Time) {
+	if clock == nil {
+		clock = time.Now
+	}
+	m.clock = clock
+}
+
+// CaptureFlags records the full effective flag set from fs (call after
+// fs.Parse) and computes the configuration checksum. Defaulted flags are
+// included: the manifest records the configuration the run actually used,
+// not just what the operator typed.
+func (m *Manifest) CaptureFlags(fs *flag.FlagSet) {
+	flags := map[string]string{}
+	fs.VisitAll(func(f *flag.Flag) {
+		flags[f.Name] = f.Value.String()
+	})
+	m.Flags = flags
+	m.ConfigSHA256 = ConfigChecksum(flags)
+}
+
+// ConfigChecksum hashes a flag map as sorted "name=value\n" lines and
+// returns the hex SHA-256.
+func ConfigChecksum(flags map[string]string) string {
+	names := make([]string, 0, len(flags))
+	for n := range flags {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		fmt.Fprintf(h, "%s=%s\n", n, flags[n])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashFile digests one file. Read failures are recorded in the digest, not
+// returned: a manifest must still be writable when an input vanished.
+func HashFile(path string) FileDigest {
+	d := FileDigest{Path: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		d.Error = err.Error()
+		return d
+	}
+	sum := sha256.Sum256(data)
+	d.SHA256 = hex.EncodeToString(sum[:])
+	d.Bytes = int64(len(data))
+	return d
+}
+
+// AddInput hashes path and records it as a run input.
+func (m *Manifest) AddInput(path string) { m.Inputs = append(m.Inputs, HashFile(path)) }
+
+// AddOutput hashes path and records it as a run output. Call after the
+// artifact is fully written.
+func (m *Manifest) AddOutput(path string) { m.Outputs = append(m.Outputs, HashFile(path)) }
+
+// SetTelemetry records the digest of an already-written telemetry snapshot.
+func (m *Manifest) SetTelemetry(path string) {
+	if d := HashFile(path); d.Error == "" {
+		m.TelemetrySHA256 = d.SHA256
+	}
+}
+
+// Note appends a free-form remark.
+func (m *Manifest) Note(format string, args ...any) {
+	m.Notes = append(m.Notes, fmt.Sprintf(format, args...))
+}
+
+// Finish stamps the end time (idempotent: the first call wins).
+func (m *Manifest) Finish() {
+	if m.Finished.IsZero() {
+		clock := m.clock
+		if clock == nil {
+			clock = time.Now
+		}
+		m.Finished = clock().UTC()
+	}
+}
+
+// Marshal renders the manifest as stable indented JSON with a trailing
+// newline.
+func (m *Manifest) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("manifest: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Write finalizes the manifest and persists it to dir/manifest.json
+// atomically (temp + fsync + rename).
+func (m *Manifest) Write(dir string) error {
+	m.Finish()
+	data, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	return atomicio.MkdirAllAndWrite(filepath.Join(dir, Filename), data, 0o644)
+}
+
+// Load reads a manifest written by Write. path may be the run directory or
+// the manifest file itself.
+func Load(path string) (*Manifest, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, Filename)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest: decode %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// A DiffEntry is one field-level difference between two manifests.
+type DiffEntry struct {
+	// Field names what differs ("seed", "flag -trials", "output fig5.csv").
+	Field string
+	// A and B render each side's value ("<absent>" when one side lacks
+	// the field).
+	A, B string
+}
+
+// Diff compares two manifests field by field, for cpsreport -diff. Equal
+// manifests (up to timestamps and run IDs, which always differ) return nil.
+func Diff(a, b *Manifest) []DiffEntry {
+	var out []DiffEntry
+	add := func(field, av, bv string) {
+		if av != bv {
+			out = append(out, DiffEntry{Field: field, A: av, B: bv})
+		}
+	}
+	add("tool", a.Tool, b.Tool)
+	add("seed", fmt.Sprint(a.Seed), fmt.Sprint(b.Seed))
+	add("config_sha256", a.ConfigSHA256, b.ConfigSHA256)
+	add("go_version", a.GoVersion, b.GoVersion)
+	add("platform", a.Platform, b.Platform)
+	add("telemetry_sha256", a.TelemetrySHA256, b.TelemetrySHA256)
+
+	for _, name := range unionKeys(a.Flags, b.Flags) {
+		av, aok := a.Flags[name]
+		bv, bok := b.Flags[name]
+		if !aok {
+			av = "<absent>"
+		}
+		if !bok {
+			bv = "<absent>"
+		}
+		add("flag -"+name, av, bv)
+	}
+	out = append(out, diffDigests("input", a.Inputs, b.Inputs)...)
+	out = append(out, diffDigests("output", a.Outputs, b.Outputs)...)
+	return out
+}
+
+// diffDigests compares artifact lists by base name, so runs in different
+// directories still line up.
+func diffDigests(kind string, a, b []FileDigest) []DiffEntry {
+	am := digestsByBase(a)
+	bm := digestsByBase(b)
+	var out []DiffEntry
+	for _, base := range unionKeys(am, bm) {
+		av, aok := am[base]
+		bv, bok := bm[base]
+		ar, br := "<absent>", "<absent>"
+		if aok {
+			ar = renderDigest(av)
+		}
+		if bok {
+			br = renderDigest(bv)
+		}
+		if ar != br {
+			out = append(out, DiffEntry{Field: kind + " " + base, A: ar, B: br})
+		}
+	}
+	return out
+}
+
+func digestsByBase(ds []FileDigest) map[string]FileDigest {
+	m := make(map[string]FileDigest, len(ds))
+	for _, d := range ds {
+		m[filepath.Base(d.Path)] = d
+	}
+	return m
+}
+
+func renderDigest(d FileDigest) string {
+	if d.Error != "" {
+		return "error: " + d.Error
+	}
+	short := d.SHA256
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	return fmt.Sprintf("sha256:%s (%d bytes)", short, d.Bytes)
+}
+
+// unionKeys returns the sorted union of two string-keyed maps' keys.
+func unionKeys[V any](a, b map[string]V) []string {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

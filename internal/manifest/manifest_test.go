@@ -1,0 +1,152 @@
+package manifest
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testClock() func() time.Time {
+	t := time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Minute)
+		return t
+	}
+}
+
+func TestRunIDDeterministic(t *testing.T) {
+	now := time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC)
+	got := RunID("cpsexp", now, 7)
+	if got != "cpsexp-20260304T050607-s7" {
+		t.Fatalf("RunID = %q", got)
+	}
+	// Negative seeds render as unsigned hex, keeping the ID filename-safe.
+	if id := RunID("cpsexp", now, -1); strings.Contains(id, "-s-") {
+		t.Fatalf("negative seed leaked a dash: %q", id)
+	}
+}
+
+func TestCaptureFlagsChecksumIgnoresOrderAndSource(t *testing.T) {
+	mk := func(args []string) *Manifest {
+		fs := flag.NewFlagSet("t", flag.PanicOnError)
+		fs.Int("trials", 30, "")
+		fs.String("mode", "matrix", "")
+		fs.Int64("seed", 1, "")
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		m := newAt("cpsexp", 1, testClock())
+		m.CaptureFlags(fs)
+		return m
+	}
+	// Explicitly passing the default value and omitting it must agree.
+	a := mk([]string{"-trials", "30", "-mode", "matrix"})
+	b := mk([]string{"-mode", "matrix", "-trials", "30"})
+	c := mk([]string{})
+	if a.ConfigSHA256 != b.ConfigSHA256 || a.ConfigSHA256 != c.ConfigSHA256 {
+		t.Fatalf("checksums differ: %s %s %s", a.ConfigSHA256, b.ConfigSHA256, c.ConfigSHA256)
+	}
+	d := mk([]string{"-trials", "31"})
+	if d.ConfigSHA256 == a.ConfigSHA256 {
+		t.Fatal("different config, same checksum")
+	}
+	if a.Flags["trials"] != "30" || a.Flags["seed"] != "1" {
+		t.Fatalf("flags = %v", a.Flags)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(input, []byte(`{"n":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "fig5.csv")
+	if err := os.WriteFile(out, []byte("a,b\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := newAt("cpsexp", 7, testClock())
+	m.AddInput(input)
+	m.AddOutput(out)
+	m.AddInput(filepath.Join(dir, "missing.json")) // must not fail the write
+	m.Note("resumed %d trials", 3)
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	if m.Finished.IsZero() {
+		t.Fatal("Write did not stamp Finished")
+	}
+
+	// Load accepts both the directory and the file path.
+	for _, p := range []string{dir, filepath.Join(dir, Filename)} {
+		got, err := Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Schema != Schema || got.RunID != m.RunID || got.Seed != 7 {
+			t.Fatalf("round trip lost identity: %+v", got)
+		}
+		if len(got.Inputs) != 2 || got.Inputs[0].SHA256 == "" || got.Inputs[0].Bytes != 7 {
+			t.Fatalf("inputs = %+v", got.Inputs)
+		}
+		if got.Inputs[1].Error == "" {
+			t.Fatal("missing input recorded without error")
+		}
+		if len(got.Outputs) != 1 || got.Outputs[0].SHA256 == "" {
+			t.Fatalf("outputs = %+v", got.Outputs)
+		}
+		if len(got.Notes) != 1 || got.Notes[0] != "resumed 3 trials" {
+			t.Fatalf("notes = %v", got.Notes)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	dir := t.TempDir()
+	csvA := filepath.Join(dir, "a", "fig5.csv")
+	csvB := filepath.Join(dir, "b", "fig5.csv")
+	os.MkdirAll(filepath.Dir(csvA), 0o755)
+	os.MkdirAll(filepath.Dir(csvB), 0o755)
+	os.WriteFile(csvA, []byte("1\n"), 0o644)
+	os.WriteFile(csvB, []byte("2\n"), 0o644)
+
+	a := newAt("cpsexp", 7, testClock())
+	a.Flags = map[string]string{"trials": "30", "mode": "matrix"}
+	a.ConfigSHA256 = ConfigChecksum(a.Flags)
+	a.AddOutput(csvA)
+
+	b := newAt("cpsexp", 9, testClock())
+	b.Flags = map[string]string{"trials": "60", "mode": "matrix", "quick": "true"}
+	b.ConfigSHA256 = ConfigChecksum(b.Flags)
+	b.AddOutput(csvB)
+
+	diffs := Diff(a, b)
+	byField := map[string]DiffEntry{}
+	for _, d := range diffs {
+		byField[d.Field] = d
+	}
+	for _, want := range []string{"seed", "config_sha256", "flag -trials", "flag -quick", "output fig5.csv"} {
+		if _, ok := byField[want]; !ok {
+			t.Fatalf("diff missing %q (have %v)", want, diffs)
+		}
+	}
+	if _, ok := byField["flag -mode"]; ok {
+		t.Fatal("identical flag reported as a diff")
+	}
+	if byField["flag -quick"].A != "<absent>" {
+		t.Fatalf("absent flag rendered as %q", byField["flag -quick"].A)
+	}
+	// Same-directory outputs line up by base name even across directories.
+	if !strings.HasPrefix(byField["output fig5.csv"].A, "sha256:") {
+		t.Fatalf("digest render = %q", byField["output fig5.csv"].A)
+	}
+
+	// Identical manifests (same seed/flags/outputs) diff clean.
+	if d := Diff(a, a); d != nil {
+		t.Fatalf("self diff = %v", d)
+	}
+}

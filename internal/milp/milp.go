@@ -133,13 +133,15 @@ func Solve(p Problem, opts Options) (sol *Solution, err error) {
 	if err := validate(p); err != nil {
 		return nil, err
 	}
-	sp := telemetry.Default().StartSpan("milp.solve", p.LP.Name())
+	sp, _ := telemetry.Default().StartSpanCtx(opts.Ctx, "milp.solve", p.LP.Name())
 	defer func() { recordSolve(sp, sol, err) }()
 	tol := opts.tol()
 	lpOpts := opts.LP
 	if lpOpts.Ctx == nil {
 		lpOpts.Ctx = opts.Ctx
 	}
+	// Relaxation solves parent under this MILP span in the trace tree.
+	lpOpts.Ctx = telemetry.ContextWithSpan(lpOpts.Ctx, sp)
 
 	// partial assembles the degraded-termination solution around the best
 	// incumbent found so far (if any).

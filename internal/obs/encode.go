@@ -1,0 +1,219 @@
+// Event encodings. Both formats emit keys in a fixed order (ts, level, run,
+// stage, trial, msg, then payload fields in call order) and never iterate a
+// map, so a fixed-clock run encodes byte-identically. Values go through
+// strconv: integers and bools verbatim, floats in shortest round-trip form,
+// strings quoted only when they need it (Text) or always (JSONL).
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"time"
+)
+
+// TimeFormat is the timestamp layout used by both encodings: RFC 3339 with
+// microseconds, always UTC, so logs from different hosts collate.
+const TimeFormat = "2006-01-02T15:04:05.000000Z07:00"
+
+// AppendText appends the event as one key=value line (with trailing newline)
+// and returns the extended buffer.
+func (e *Event) AppendText(b []byte) []byte {
+	if !e.Time.IsZero() {
+		b = append(b, "ts="...)
+		b = e.Time.UTC().AppendFormat(b, TimeFormat)
+		b = append(b, ' ')
+	}
+	b = append(b, "level="...)
+	b = append(b, e.Level.String()...)
+	b = appendTextPair(b, "run", e.Run)
+	b = appendTextPair(b, "stage", e.Stage)
+	b = appendTextPair(b, "trial", e.Trial)
+	b = append(b, " msg="...)
+	b = appendTextValue(b, e.Msg)
+	for _, f := range e.Fields {
+		b = append(b, ' ')
+		b = append(b, f.Key...)
+		b = append(b, '=')
+		b = appendAnyText(b, f.Value)
+	}
+	return append(b, '\n')
+}
+
+// appendTextPair appends ` key=value` when value is non-empty.
+func appendTextPair(b []byte, key, value string) []byte {
+	if value == "" {
+		return b
+	}
+	b = append(b, ' ')
+	b = append(b, key...)
+	b = append(b, '=')
+	return appendTextValue(b, value)
+}
+
+// appendTextValue appends s, quoting only when it contains whitespace,
+// quotes, or the pair separator.
+func appendTextValue(b []byte, s string) []byte {
+	if textNeedsQuote(s) {
+		return strconv.AppendQuote(b, s)
+	}
+	return append(b, s...)
+}
+
+func textNeedsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c <= ' ', c == '"', c == '=', c == '\\', c >= 0x7f:
+			return true
+		}
+	}
+	return false
+}
+
+// appendAnyText encodes a field value for the Text format.
+func appendAnyText(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(b, "null"...)
+	case string:
+		return appendTextValue(b, x)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case float32:
+		return strconv.AppendFloat(b, float64(x), 'g', -1, 32)
+	case time.Duration:
+		return appendTextValue(b, x.String())
+	case error:
+		return appendTextValue(b, x.Error())
+	default:
+		if j, err := json.Marshal(x); err == nil {
+			return appendTextValue(b, string(j))
+		}
+		return appendTextValue(b, "?")
+	}
+}
+
+// AppendJSONL appends the event as one JSON object line (with trailing
+// newline) and returns the extended buffer. The object is built by hand so
+// key order is fixed and payload fields keep their call order.
+func (e *Event) AppendJSONL(b []byte) []byte {
+	b = append(b, '{')
+	first := true
+	pair := func(key string) {
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = strconv.AppendQuote(b, key)
+		b = append(b, ':')
+	}
+	if !e.Time.IsZero() {
+		pair("ts")
+		b = strconv.AppendQuote(b, e.Time.UTC().Format(TimeFormat))
+	}
+	pair("level")
+	b = strconv.AppendQuote(b, e.Level.String())
+	if e.Run != "" {
+		pair("run")
+		b = strconv.AppendQuote(b, e.Run)
+	}
+	if e.Stage != "" {
+		pair("stage")
+		b = strconv.AppendQuote(b, e.Stage)
+	}
+	if e.Trial != "" {
+		pair("trial")
+		b = strconv.AppendQuote(b, e.Trial)
+	}
+	pair("msg")
+	b = strconv.AppendQuote(b, e.Msg)
+	for _, f := range e.Fields {
+		pair(f.Key)
+		b = appendAnyJSON(b, f.Value)
+	}
+	b = append(b, '}')
+	return append(b, '\n')
+}
+
+// appendAnyJSON encodes a field value for the JSONL format.
+func appendAnyJSON(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(b, "null"...)
+	case string:
+		return strconv.AppendQuote(b, x)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return appendJSONFloat(b, x)
+	case float32:
+		return appendJSONFloat(b, float64(x))
+	case time.Duration:
+		return strconv.AppendQuote(b, x.String())
+	case error:
+		return strconv.AppendQuote(b, x.Error())
+	default:
+		if j, err := json.Marshal(x); err == nil {
+			return append(b, j...)
+		}
+		return strconv.AppendQuote(b, "?")
+	}
+}
+
+// appendJSONFloat keeps the output valid JSON: NaN and infinities (which
+// json.Marshal rejects) become quoted strings.
+func appendJSONFloat(b []byte, f float64) []byte {
+	if f != f || f > 1.797693134862315708145274237317043567981e308 || f < -1.797693134862315708145274237317043567981e308 {
+		return strconv.AppendQuote(b, strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+// DecodedEvent is the JSONL wire form as cpsreport reads it back: identity
+// coordinates plus the free-form payload. Payload keys that collide with the
+// envelope are shadowed by the envelope (the logger never emits such keys).
+type DecodedEvent struct {
+	TS    string         `json:"ts"`
+	Level string         `json:"level"`
+	Run   string         `json:"run"`
+	Stage string         `json:"stage"`
+	Trial string         `json:"trial"`
+	Msg   string         `json:"msg"`
+	Extra map[string]any `json:"-"`
+}
+
+// DecodeJSONL parses one JSONL event line. Unknown keys land in Extra so
+// analyzers can reach payload fields without a schema.
+func DecodeJSONL(line []byte) (DecodedEvent, error) {
+	var ev DecodedEvent
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return ev, err
+	}
+	var all map[string]any
+	if err := json.Unmarshal(line, &all); err != nil {
+		return ev, err
+	}
+	for _, k := range []string{"ts", "level", "run", "stage", "trial", "msg"} {
+		delete(all, k)
+	}
+	if len(all) > 0 {
+		ev.Extra = all
+	}
+	return ev, nil
+}

@@ -1,0 +1,294 @@
+// Package obs is the run-centric structured event log: every binary and
+// long-running package in this repository reports its progress, warnings,
+// and failures as leveled events instead of freeform stderr prints, so a
+// run's story is machine-parseable after the fact.
+//
+// Events carry three identity coordinates — the run ID (one per process
+// invocation, recorded in the run manifest), the experiment stage ("fig5",
+// "fig5 n=4 σ=0.2"), and the trial ID — plus ordered key=value fields.
+// Loggers are cheap immutable views over a shared core: WithStage/WithTrial
+// derive child loggers that stamp those coordinates on every event, mirroring
+// how telemetry spans thread through context.Context.
+//
+// Two sink formats exist: Text (key=value lines for humans on stderr) and
+// JSONL (one JSON object per line for cpsreport and jq). A logger fans each
+// event out to every sink at or above the sink's own threshold, so a binary
+// can keep terse human output on stderr while streaming a complete Debug
+// feed to its observability directory.
+//
+// Determinism contract: encoding never iterates a map (fields are ordered
+// slices), timestamps come from an injectable clock, and float formatting
+// uses strconv's shortest round-trip form — so a seeded single-worker run
+// with a fixed clock produces byte-identical logs, and any seeded run
+// produces the same *set* of events (order varies only with worker
+// interleaving). A nil *Logger is valid everywhere and drops events, so
+// instrumented packages never branch on "is logging on".
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level is an event severity. Sinks drop events below their threshold.
+type Level int8
+
+// Severity levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name used in encodings.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error") to its
+// Level, for -log-level style flags.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("obs: unknown level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// Format selects a sink's wire encoding.
+type Format int8
+
+const (
+	// Text is one `ts=... level=... msg="..." k=v` line per event.
+	Text Format = iota
+	// JSONL is one JSON object per line with fixed key order:
+	// ts, level, run, stage, trial, msg, then the fields in call order.
+	JSONL
+)
+
+// A Field is one ordered key/value pair attached to an event. Values are
+// encoded with strconv (numbers, bools) or quoted strings; everything else
+// goes through fmt.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// A Sink is one destination for encoded events.
+type Sink struct {
+	// W receives one encoded line (including trailing newline) per event.
+	W io.Writer
+	// Format selects the encoding.
+	Format Format
+	// Min drops events below this level (zero value: Debug, i.e. keep
+	// everything).
+	Min Level
+}
+
+// Event is one structured log record, as handed to encoders. Exported so
+// tests and the cpsreport analyzer can share the encoding.
+type Event struct {
+	// Time is the event instant on the logger's clock; the zero time
+	// omits the ts key entirely (used by tests that want clock-free
+	// byte-stable output).
+	Time time.Time
+	// Level is the severity.
+	Level Level
+	// Run, Stage, Trial are the identity coordinates (empty ones are
+	// omitted from encodings).
+	Run   string
+	Stage string
+	Trial string
+	// Msg is the human-readable event name. Keep it stable and
+	// lowercase-short ("wrote csv", "trial failed"): analyzers match on
+	// it.
+	Msg string
+	// Fields are the ordered payload pairs.
+	Fields []Field
+}
+
+// logCore is the shared mutable state behind a family of derived loggers.
+type logCore struct {
+	mu    sync.Mutex
+	sinks []Sink
+	clock func() time.Time
+}
+
+// A Logger emits structured events to its sinks. Loggers are immutable
+// views: With/WithStage/WithTrial return derived loggers sharing the same
+// sinks and clock. A nil *Logger drops everything.
+type Logger struct {
+	core   *logCore
+	run    string
+	stage  string
+	trial  string
+	fields []Field
+}
+
+// New builds a logger for one run. Sinks without a writer are dropped.
+func New(run string, sinks ...Sink) *Logger {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s.W != nil {
+			kept = append(kept, s)
+		}
+	}
+	return &Logger{core: &logCore{sinks: kept, clock: time.Now}, run: run}
+}
+
+// SetClock replaces the time source for the whole logger family (nil
+// freezes timestamps out of the encoding entirely — every event carries a
+// zero time). Tests inject deterministic clocks here.
+func (l *Logger) SetClock(now func() time.Time) {
+	if l == nil {
+		return
+	}
+	l.core.mu.Lock()
+	l.core.clock = now
+	l.core.mu.Unlock()
+}
+
+// Run returns the logger's run ID ("" for a nil logger).
+func (l *Logger) Run() string {
+	if l == nil {
+		return ""
+	}
+	return l.run
+}
+
+// WithStage returns a derived logger stamping stage on every event.
+func (l *Logger) WithStage(stage string) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.stage = stage
+	return &d
+}
+
+// WithTrial returns a derived logger stamping the trial ID on every event.
+func (l *Logger) WithTrial(trial string) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.trial = trial
+	return &d
+}
+
+// With returns a derived logger appending fields to every event.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	d := *l
+	d.fields = append(append([]Field(nil), l.fields...), fields...)
+	return &d
+}
+
+// Enabled reports whether any sink would keep an event at lv. Call sites
+// building expensive fields can gate on it; plain call sites need not.
+func (l *Logger) Enabled(lv Level) bool {
+	if l == nil {
+		return false
+	}
+	l.core.mu.Lock()
+	defer l.core.mu.Unlock()
+	for _, s := range l.core.sinks {
+		if lv >= s.Min {
+			return true
+		}
+	}
+	return false
+}
+
+// Log emits one event at lv.
+func (l *Logger) Log(lv Level, msg string, fields ...Field) {
+	if l == nil {
+		return
+	}
+	c := l.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keep := false
+	for _, s := range c.sinks {
+		if lv >= s.Min {
+			keep = true
+			break
+		}
+	}
+	if !keep {
+		return
+	}
+	ev := Event{
+		Level: lv,
+		Run:   l.run,
+		Stage: l.stage,
+		Trial: l.trial,
+		Msg:   msg,
+	}
+	if c.clock != nil {
+		ev.Time = c.clock()
+	}
+	if len(l.fields) > 0 || len(fields) > 0 {
+		ev.Fields = make([]Field, 0, len(l.fields)+len(fields))
+		ev.Fields = append(ev.Fields, l.fields...)
+		ev.Fields = append(ev.Fields, fields...)
+	}
+	var text, jsonl []byte // encoded lazily, shared across sinks
+	for _, s := range c.sinks {
+		if lv < s.Min {
+			continue
+		}
+		var line []byte
+		switch s.Format {
+		case JSONL:
+			if jsonl == nil {
+				jsonl = ev.AppendJSONL(nil)
+			}
+			line = jsonl
+		default:
+			if text == nil {
+				text = ev.AppendText(nil)
+			}
+			line = text
+		}
+		s.W.Write(line) // best-effort: logging must never fail the run
+	}
+}
+
+// Debug emits a Debug-level event.
+func (l *Logger) Debug(msg string, fields ...Field) { l.Log(LevelDebug, msg, fields...) }
+
+// Info emits an Info-level event.
+func (l *Logger) Info(msg string, fields ...Field) { l.Log(LevelInfo, msg, fields...) }
+
+// Warn emits a Warn-level event.
+func (l *Logger) Warn(msg string, fields ...Field) { l.Log(LevelWarn, msg, fields...) }
+
+// Error emits an Error-level event.
+func (l *Logger) Error(msg string, fields ...Field) { l.Log(LevelError, msg, fields...) }

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a clock that steps one second per call from a fixed
+// origin, so encoded timestamps are byte-stable.
+func fixedClock() func() time.Time {
+	t := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func TestTextEncodingDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("r1", Sink{W: &buf, Format: Text})
+	l.SetClock(fixedClock())
+
+	l.WithStage("fig5").WithTrial("s7|n=2|t0").Info("trial done",
+		F("work", int64(42)), F("ok", true), F("load", 0.25),
+		F("note", "has spaces"), F("err", errors.New("boom: x")))
+
+	want := `ts=2026-01-02T03:04:06.000000Z level=info run=r1 stage=fig5 trial="s7|n=2|t0" msg="trial done" work=42 ok=true load=0.25 note="has spaces" err="boom: x"` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("text line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestJSONLEncodingFixedKeyOrder(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("r1", Sink{W: &buf, Format: JSONL})
+	l.SetClock(fixedClock())
+
+	l.WithStage("fig5").Warn("retrying", F("attempt", 2), F("backoff", 150*time.Millisecond))
+
+	line := buf.String()
+	want := `{"ts":"2026-01-02T03:04:06.000000Z","level":"warn","run":"r1","stage":"fig5","msg":"retrying","attempt":2,"backoff":"150ms"}` + "\n"
+	if line != want {
+		t.Fatalf("jsonl line:\n got %q\nwant %q", line, want)
+	}
+	// And it is real JSON that round-trips through the decoder.
+	ev, err := DecodeJSONL([]byte(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Level != "warn" || ev.Run != "r1" || ev.Stage != "fig5" || ev.Msg != "retrying" {
+		t.Fatalf("decoded = %+v", ev)
+	}
+	if ev.Extra["attempt"].(float64) != 2 {
+		t.Fatalf("extra = %v", ev.Extra)
+	}
+}
+
+func TestSinkLevelsAndFanOut(t *testing.T) {
+	var human, machine bytes.Buffer
+	l := New("r",
+		Sink{W: &human, Format: Text, Min: LevelWarn},
+		Sink{W: &machine, Format: JSONL, Min: LevelDebug},
+	)
+	l.SetClock(nil) // clock-free: zero time omits ts entirely
+
+	l.Debug("pool started", F("workers", 4))
+	l.Warn("watchdog flagged", F("trial", "t3"))
+
+	if n := strings.Count(human.String(), "\n"); n != 1 {
+		t.Fatalf("human sink lines = %d, want 1 (warn only): %q", n, human.String())
+	}
+	if n := strings.Count(machine.String(), "\n"); n != 2 {
+		t.Fatalf("machine sink lines = %d, want 2: %q", n, machine.String())
+	}
+	if strings.Contains(machine.String(), `"ts"`) {
+		t.Fatalf("nil clock still emitted ts: %q", machine.String())
+	}
+	if !l.Enabled(LevelDebug) {
+		t.Fatal("Enabled(debug) = false with a debug sink attached")
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Info("dropped")
+	l.SetClock(fixedClock())
+	if l.WithStage("x") != nil || l.WithTrial("y") != nil || l.With(F("k", 1)) != nil {
+		t.Fatal("derivations of a nil logger must stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+	if l.Run() != "" {
+		t.Fatal("nil logger has a run ID")
+	}
+}
+
+func TestWithFieldsAccumulateWithoutAliasing(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("r", Sink{W: &buf, Format: Text})
+	l.SetClock(nil)
+
+	base := l.With(F("a", 1))
+	b1 := base.With(F("b", 2))
+	b2 := base.With(F("c", 3)) // must not clobber b1's backing array
+	b1.Info("one")
+	b2.Info("two")
+
+	got := buf.String()
+	if !strings.Contains(got, "msg=one a=1 b=2") || !strings.Contains(got, "msg=two a=1 c=3") {
+		t.Fatalf("derived field sets wrong:\n%s", got)
+	}
+	if strings.Contains(got, "b=2 c=3") || strings.Contains(got, "c=3 b=2") {
+		t.Fatalf("sibling deriveds aliased the same array:\n%s", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted junk")
+	}
+}
+
+func TestJSONLSpecialValues(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("", Sink{W: &buf, Format: JSONL})
+	l.SetClock(nil)
+
+	type pt struct{ X, Y int }
+	nan := 0.0
+	nan /= nan
+	l.Info("vals", F("nan", nan), F("nil", nil), F("obj", pt{1, 2}), F("u", uint64(9)))
+
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("special values broke JSON: %v\n%s", err, buf.String())
+	}
+	if m["nan"] != "NaN" {
+		t.Fatalf("nan = %v", m["nan"])
+	}
+	if _, ok := m["nil"]; !ok {
+		t.Fatal("nil value dropped")
+	}
+	if obj, ok := m["obj"].(map[string]any); !ok || obj["X"].(float64) != 1 {
+		t.Fatalf("obj = %v", m["obj"])
+	}
+}
+
+func TestConcurrentLoggingKeepsLinesWhole(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("r", Sink{W: &buf, Format: JSONL})
+	l.SetClock(nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tl := l.WithTrial(fmt.Sprintf("t%d", w))
+			for i := 0; i < 50; i++ {
+				tl.Debug("tick", F("i", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("lines = %d, want 400", len(lines))
+	}
+	for _, line := range lines {
+		if _, err := DecodeJSONL([]byte(line)); err != nil {
+			t.Fatalf("torn line %q: %v", line, err)
+		}
+	}
+}

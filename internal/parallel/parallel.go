@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"cpsguard/internal/obs"
 	"cpsguard/internal/telemetry"
 )
 
@@ -32,6 +33,9 @@ type Options struct {
 	// must be safe for concurrent invocation. Tasks skipped because the
 	// context fired before they were scheduled are not reported.
 	OnSettle func(i int, err error)
+	// Log, when non-nil, records pool lifecycle (start/drain, with worker
+	// and task counts) as debug events.
+	Log *obs.Logger
 }
 
 func (o Options) workers() int {
@@ -167,8 +171,12 @@ func MapSettle[T any](n int, opts Options, fn func(ctx context.Context, i int) (
 	reg := telemetry.Default()
 	mPools.Inc()
 	mWorkers.Add(int64(workers))
+	opts.Log.Debug("pool started", obs.F("workers", workers), obs.F("tasks", n))
 	poolStart := reg.Now()
-	defer func() { tPool.Observe(reg.Now().Sub(poolStart).Nanoseconds()) }()
+	defer func() {
+		tPool.Observe(reg.Now().Sub(poolStart).Nanoseconds())
+		opts.Log.Debug("pool drained", obs.F("tasks", n))
+	}()
 	// enqueued[i] is written by the feeder before sending i; the channel send
 	// publishes it to the receiving worker.
 	enqueued := make([]time.Time, n)

@@ -23,7 +23,9 @@ import (
 	"cpsguard/internal/core"
 	"cpsguard/internal/defense"
 	"cpsguard/internal/noise"
+	"cpsguard/internal/obs"
 	"cpsguard/internal/rng"
+	"cpsguard/internal/telemetry"
 )
 
 // Config parameterizes a repeated game.
@@ -71,6 +73,9 @@ type Config struct {
 	// settles (not for ResumeRounds) — wire it to a checkpoint journal to
 	// stream the trajectory to disk as it grows.
 	OnRound func(round int, r Round)
+	// Log, when non-nil, records each played round (debug) and each
+	// failed round (warn) as structured events.
+	Log *obs.Logger
 }
 
 func (c Config) smoothing() float64 {
@@ -129,6 +134,7 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 	res := &Result{}
 	alpha := cfg.smoothing()
 
+	log := cfg.Log.WithStage("repeated")
 	// fail records a failed round under ContinueOnError, or aborts.
 	fail := func(round int, err error) error {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -143,12 +149,15 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 			res.RoundErrors = map[int]error{}
 		}
 		res.RoundErrors[round] = err
+		log.Warn("round failed, continuing", obs.F("round", round), obs.F("err", err))
 		return nil
 	}
 
 	// playOne runs one round; panics are recovered into errors so a
-	// single bad round can be skipped under ContinueOnError.
-	playOne := func(round int, pa map[string]float64, prevDefended map[string]bool) (r Round, err error) {
+	// single bad round can be skipped under ContinueOnError. ctx carries
+	// the round's trace span (when tracing is on) in addition to
+	// cancellation.
+	playOne := func(ctx context.Context, round int, pa map[string]float64, prevDefended map[string]bool) (r Round, err error) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				err = fmt.Errorf("repeated: round %d panicked: %v", round, rec)
@@ -200,7 +209,7 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 		}
 		plan, perr := adversary.SolveResilient(adversary.Config{
 			Matrix: view, Targets: atkTargets, Budget: cfg.AttackBudget,
-			Ctx: cfg.Ctx,
+			Ctx: ctx,
 		})
 		if perr != nil {
 			return Round{}, perr
@@ -263,7 +272,9 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 				continue // skipped round: no learning update
 			}
 		}
-		r, err := playOne(round, pa, prevDefended)
+		sp, rctx := telemetry.Default().StartSpanCtx(cfg.Ctx, "repeated.round", fmt.Sprintf("r%d", round))
+		r, err := playOne(rctx, round, pa, prevDefended)
+		sp.End()
 		if err != nil {
 			if aerr := fail(round, err); aerr != nil {
 				return res, aerr
@@ -272,6 +283,9 @@ func Play(s *core.Scenario, cfg Config) (*Result, error) {
 		}
 		mRounds.Inc()
 		settle(r)
+		log.Debug("round played", obs.F("round", round),
+			obs.F("profit", r.AdversaryProfit), obs.F("averted", r.Averted),
+			obs.F("attacked", len(r.Attacked)), obs.F("defended", len(r.Defended)))
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, r)
 		}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// getBody fetches path from the test server and returns status + body.
+func getBody(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestMetricsHandlerJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http.test_counter").Add(3)
+	r.Histogram("http.test_hist", WorkEdges).Observe(7)
+	r.Timing("http.test_timing").Observe(1000)
+	r.EnableTracing(true)
+	sp := r.StartSpan("http.test_span", "p")
+	sp.End()
+
+	srv := httptest.NewServer(r.DebugMux())
+	defer srv.Close()
+
+	code, body := getBody(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", got)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not a Snapshot: %v", err)
+	}
+	if snap.Counters["http.test_counter"] != 3 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Histograms["http.test_hist"].Count != 1 {
+		t.Fatalf("histograms = %v", snap.Histograms)
+	}
+	// The live endpoint always includes the nondeterministic sections.
+	if snap.Timings["http.test_timing"].Count != 1 {
+		t.Fatalf("timings missing: %v", snap.Timings)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Stage != "http.test_span" {
+		t.Fatalf("spans = %v", snap.Spans)
+	}
+	// The raw body exposes every documented top-level section key.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"counters", "histograms", "timings", "spans"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("/metrics missing section %q (have %v)", key, raw)
+		}
+	}
+}
+
+func TestDebugVarsRegistersTelemetryExpvar(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(r.DebugMux()) // DebugMux calls PublishExpvar
+	defer srv.Close()
+
+	code, body := getBody(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	raw, ok := vars["cpsguard.telemetry"]
+	if !ok {
+		t.Fatal("/debug/vars missing cpsguard.telemetry")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("cpsguard.telemetry expvar not a Snapshot: %v", err)
+	}
+}
+
+func TestDebugMuxUnknownPathsAre404(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(r.DebugMux())
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/unknown", "/metricsx", "/debug", "/debug/unknown"} {
+		if code, _ := getBody(t, srv, path); code != http.StatusNotFound {
+			t.Fatalf("%s status %d, want 404", path, code)
+		}
+	}
+	// The wired endpoints keep working alongside the 404s.
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		if code, _ := getBody(t, srv, path); code != http.StatusOK {
+			t.Fatalf("%s status %d, want 200", path, code)
+		}
+	}
+}

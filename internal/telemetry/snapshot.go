@@ -88,6 +88,16 @@ func (r *Registry) WriteSnapshot(path string, opts SnapshotOptions) error {
 	return atomicio.MkdirAllAndWrite(path, data, 0o644)
 }
 
+// ReadSnapshot parses a snapshot previously written by WriteSnapshot —
+// the read half of the metrics.json artifact, used by cmd/cpsreport.
+func ReadSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("telemetry: decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
 var expvarOnce sync.Once
 
 // PublishExpvar registers the Default registry under the expvar name

@@ -76,6 +76,7 @@ type Registry struct {
 	hists    map[string]*Histogram
 	timings  map[string]*Histogram
 	spans    spanRing
+	spanID   atomic.Uint64
 	tracing  atomic.Bool
 	clock    atomic.Pointer[func() time.Time]
 }
@@ -182,6 +183,7 @@ func (r *Registry) Reset() {
 		h.reset()
 	}
 	r.spans.reset()
+	r.spanID.Store(0)
 }
 
 // counterNames returns the registered counter names, sorted.

@@ -1,0 +1,172 @@
+// Chrome trace_event export: the retained span tree rendered as a JSON file
+// that chrome://tracing and Perfetto open directly. Each root span (a trial,
+// a standalone solve) gets its own track; children nest inside parents by
+// time containment, which the "X" (complete-event) phase renders as stacked
+// slices.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"cpsguard/internal/atomicio"
+)
+
+// TraceEvent is one Chrome trace_event record. Only the fields this export
+// uses are declared; see the Trace Event Format spec for the full set.
+type TraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the event phase: "X" (complete, with Dur) for spans, "M"
+	// (metadata) for track names.
+	Ph string `json:"ph"`
+	// TS is the start timestamp in microseconds (fractional for
+	// sub-microsecond precision), relative to the earliest span.
+	TS float64 `json:"ts"`
+	// Dur is the duration in microseconds (complete events only).
+	Dur float64 `json:"dur,omitempty"`
+	PID int     `json:"pid"`
+	TID int     `json:"tid"`
+	// Args carries the span payload: id, parent, problem, work, retries,
+	// degradations.
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the trace-file envelope (JSON Object Format).
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the snapshot's span window as a Chrome trace. Spans
+// are grouped into tracks by root ancestor: every root span (ParentID 0, or
+// an orphan whose parent was evicted from the ring) opens a track, and its
+// descendants draw nested inside it. Timestamps are rebased to the earliest
+// retained span so the trace starts at t=0 regardless of wall-clock origin.
+func (s *Snapshot) ChromeTrace() *ChromeTrace {
+	ct := &ChromeTrace{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	if len(s.Spans) == 0 {
+		return ct
+	}
+	byID := make(map[uint64]*SpanRecord, len(s.Spans))
+	for i := range s.Spans {
+		byID[s.Spans[i].ID] = &s.Spans[i]
+	}
+	// rootOf follows parent links until a root or a missing (evicted)
+	// parent; the depth guard breaks pathological cycles that a corrupted
+	// snapshot file could carry.
+	rootOf := func(rec *SpanRecord) *SpanRecord {
+		cur := rec
+		for depth := 0; depth < 1024; depth++ {
+			p, ok := byID[cur.ParentID]
+			if cur.ParentID == 0 || !ok || p == cur {
+				return cur
+			}
+			cur = p
+		}
+		return cur
+	}
+
+	// Stable processing order: by start time, ID breaking ties.
+	order := make([]*SpanRecord, 0, len(s.Spans))
+	minStart := s.Spans[0].StartNS
+	for i := range s.Spans {
+		order = append(order, &s.Spans[i])
+		if s.Spans[i].StartNS < minStart {
+			minStart = s.Spans[i].StartNS
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].StartNS != order[b].StartNS {
+			return order[a].StartNS < order[b].StartNS
+		}
+		return order[a].ID < order[b].ID
+	})
+
+	// Assign track IDs per root in first-appearance order and emit a
+	// thread_name metadata event per track so the viewer labels lanes.
+	tids := map[uint64]int{}
+	for _, rec := range order {
+		root := rootOf(rec)
+		tid, ok := tids[root.ID]
+		if !ok {
+			tid = len(tids) + 1
+			tids[root.ID] = tid
+			label := root.Stage
+			if root.Problem != "" {
+				label += " " + root.Problem
+			}
+			ct.TraceEvents = append(ct.TraceEvents, TraceEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": label},
+			})
+		}
+		args := map[string]any{
+			"id":   rec.ID,
+			"work": rec.Work,
+		}
+		if rec.ParentID != 0 {
+			args["parent"] = rec.ParentID
+		}
+		if rec.Problem != "" {
+			args["problem"] = rec.Problem
+		}
+		if rec.Retries != 0 {
+			args["retries"] = rec.Retries
+		}
+		if len(rec.Degradations) > 0 {
+			args["degradations"] = rec.Degradations
+		}
+		ct.TraceEvents = append(ct.TraceEvents, TraceEvent{
+			Name: rec.Stage,
+			Cat:  stageCategory(rec.Stage),
+			Ph:   "X",
+			TS:   float64(rec.StartNS-minStart) / 1e3,
+			Dur:  float64(rec.DurationNS) / 1e3,
+			PID:  1,
+			TID:  tid,
+			Args: args,
+		})
+	}
+	return ct
+}
+
+// stageCategory maps "lp.solve" → "lp" so the viewer can color by layer.
+func stageCategory(stage string) string {
+	for i := 0; i < len(stage); i++ {
+		if stage[i] == '.' {
+			return stage[:i]
+		}
+	}
+	return stage
+}
+
+// MarshalIndented renders the trace as stable, human-diffable JSON with a
+// trailing newline.
+func (t *ChromeTrace) MarshalIndented() ([]byte, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: encode trace: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// ReadChromeTrace parses a trace file written by WriteChromeTrace.
+func ReadChromeTrace(data []byte) (*ChromeTrace, error) {
+	var t ChromeTrace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("telemetry: decode trace: %w", err)
+	}
+	return &t, nil
+}
+
+// WriteChromeTrace dumps the registry's retained span window to path as a
+// Chrome trace, atomically (temp + fsync + rename via internal/atomicio).
+func (r *Registry) WriteChromeTrace(path string) error {
+	data, err := r.Snapshot(SnapshotOptions{Spans: true}).ChromeTrace().MarshalIndented()
+	if err != nil {
+		return err
+	}
+	return atomicio.MkdirAllAndWrite(path, data, 0o644)
+}
