@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke fuzz-smoke crash-resume clean
+.PHONY: ci vet build test race bench bench-warm bench-smoke fuzz-smoke crash-resume clean
 
 ci: vet build race bench-smoke fuzz-smoke crash-resume
 
@@ -13,14 +13,23 @@ build:
 test:
 	$(GO) test ./...
 
+# Race detector over the whole module with a short trial budget: the golden
+# full-pipeline runs are skipped (they are single-threaded determinism
+# checks), while every concurrent path — parallel fan-out, the shared solve
+# cache, journaling — still runs under the detector.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 # Solver-layer benchmark sweep with telemetry attribution: pairs ns/op with
 # the deterministic work counters (pivots, nodes, evaluations, appends) each
 # workload produced. Output is machine-readable for regression tracking.
 bench:
 	BENCH_OUT=BENCH_telemetry.json $(GO) test -run '^TestBenchTelemetry$$' -count=1 -v .
+
+# Warm-start and cache speedup report: runs the cold/warm benchmark pairs and
+# writes BENCH_warmstart.json pairing ns/op with warm vs cold pivot counts.
+bench-warm:
+	BENCH_WARM_OUT=BENCH_warmstart.json $(GO) test -run '^TestBenchWarmstart$$' -count=1 -v .
 
 # One-iteration pass over every benchmark: catches benchmarks that no longer
 # compile or panic, without paying for a timed run. Part of ci.
@@ -35,6 +44,7 @@ fuzz-smoke:
 	$(GO) test ./internal/graph/ -run=^$$ -fuzz=FuzzUnmarshalValidate -fuzztime=5s
 	$(GO) test ./internal/checkpoint/ -run=^$$ -fuzz=FuzzReadJournal -fuzztime=5s
 	$(GO) test ./internal/milp/ -run=^$$ -fuzz=FuzzBranchAndBound -fuzztime=5s
+	$(GO) test ./internal/lp/ -run=^$$ -fuzz=FuzzWarmStart -fuzztime=5s
 
 # Crash-resume acceptance: a sweep killed mid-run and resumed from its
 # journal — including over a deliberately torn journal tail — must render
@@ -49,6 +59,6 @@ crash-resume:
 # build products.
 clean:
 	$(GO) clean ./...
-	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen BENCH_telemetry.json
+	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen BENCH_telemetry.json BENCH_warmstart.json
 	find . -name '*.journal' -not -path './results/*' -delete
 	find . -name '*.test' -delete

@@ -19,6 +19,7 @@ import (
 	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
+	"cpsguard/internal/solvecache"
 )
 
 func main() {
@@ -32,6 +33,8 @@ func main() {
 	mode := flag.String("mode", "graph", "noise mode: graph (faithful) or matrix (fast)")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	solveCache := flag.Int("solve-cache", 0, "memoize dispatch solves in an N-entry LRU cache (0 = off); results are unchanged")
+	warmStart := flag.Bool("warm-start", false, "warm-start perturbed dispatch solves from the baseline basis")
 	flag.Parse()
 
 	logger := obs.New("cpsattack", obs.Sink{W: os.Stderr, Format: obs.Text, Min: obs.LevelInfo})
@@ -53,6 +56,15 @@ func main() {
 	s := core.NewScenario(g, *nActors, *seed)
 	s.Parallel = parallel.Options{Context: ctx, Log: logger}
 	s.Targets = adversary.UniformTargets(g.AssetIDs(), *catk, *ps)
+	s.Cache = solvecache.New(*solveCache)
+	s.WarmStart = *warmStart
+	defer func() {
+		if st := s.Cache.Stats(); st.Capacity > 0 {
+			logger.Info("solve cache",
+				obs.F("hits", st.Hits), obs.F("misses", st.Misses),
+				obs.F("evictions", st.Evictions), obs.F("size", st.Size))
+		}
+	}()
 
 	nm, err := cli.ParseNoiseMode(*mode)
 	if err != nil {

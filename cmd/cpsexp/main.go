@@ -51,6 +51,7 @@ import (
 	"cpsguard/internal/experiments"
 	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
+	"cpsguard/internal/solvecache"
 	"cpsguard/internal/stats"
 	"cpsguard/internal/telemetry"
 )
@@ -74,6 +75,8 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at sweep end")
 	trace := flag.Bool("trace", false, "collect per-solve span traces and include them (plus wall-clock timings) in -metrics")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	solveCache := flag.Int("solve-cache", 0, "share an N-entry LRU dispatch-solve memo across all trials (0 = off); results are unchanged")
+	warmStart := flag.Bool("warm-start", false, "warm-start perturbed dispatch solves from each scenario's baseline basis")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -103,13 +106,24 @@ func main() {
 	defer stop()
 
 	faultLog := &experiments.FaultLog{}
+	cache := solvecache.New(*solveCache)
 	cfg := experiments.Config{
-		Trials:   *trials,
-		Seed:     *seed,
-		Parallel: parallel.Options{Context: ctx, Log: logger},
-		Faults:   experiments.FaultPolicy{MaxFailureRate: *faultRate, Log: faultLog},
-		Log:      logger,
+		Trials:    *trials,
+		Seed:      *seed,
+		Parallel:  parallel.Options{Context: ctx, Log: logger},
+		Faults:    experiments.FaultPolicy{MaxFailureRate: *faultRate, Log: faultLog},
+		Log:       logger,
+		Cache:     cache,
+		WarmStart: *warmStart,
 	}
+	defer func() {
+		if st := cache.Stats(); st.Capacity > 0 {
+			logger.Info("solve cache",
+				obs.F("hits", st.Hits), obs.F("misses", st.Misses),
+				obs.F("evictions", st.Evictions), obs.F("size", st.Size),
+				obs.F("capacity", st.Capacity))
+		}
+	}()
 	if *resume && *journal == "" {
 		fatal(fmt.Errorf("-resume requires -journal"))
 	}

@@ -1,0 +1,230 @@
+package cpsguard
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"cpsguard/internal/actors"
+	"cpsguard/internal/graph"
+	"cpsguard/internal/impact"
+	"cpsguard/internal/rng"
+	"cpsguard/internal/solvecache"
+)
+
+// loadTestGrids reads every committed grid fixture under testdata/grids.
+// The set spans the stressed six-state model (scarcity: congested lines,
+// load shed), the unstressed one (slack everywhere), and a synthetic
+// five-region grid — three qualitatively different polytopes for the
+// dispatch LP.
+func loadTestGrids(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "grids", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no grid fixtures in testdata/grids")
+	}
+	grids := make(map[string]*graph.Graph, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var g graph.Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		name := filepath.Base(p)
+		grids[name[:len(name)-len(".json")]] = &g
+	}
+	return grids
+}
+
+// randomPerturbationSet draws 1–4 perturbations over distinct edges with
+// values inside each field's valid range: capacity in [0, 1.5·c] (including
+// the outage end), cost in [0, 2·a+1], loss in [0, 0.9).
+func randomPerturbationSet(g *graph.Graph, rs *rng.Stream) []impact.Perturbation {
+	ids := g.AssetIDs()
+	k := 1 + rs.Intn(4)
+	if k > len(ids) {
+		k = len(ids)
+	}
+	perm := make([]string, len(ids))
+	copy(perm, ids)
+	for i := 0; i < k; i++ {
+		j := i + rs.Intn(len(perm)-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	ps := make([]impact.Perturbation, 0, k)
+	for _, id := range perm[:k] {
+		e := g.Edge(id)
+		var p impact.Perturbation
+		switch rs.Intn(3) {
+		case 0:
+			p = impact.Perturbation{EdgeID: id, Field: impact.Capacity, Value: e.Capacity * 1.5 * rs.Float64()}
+		case 1:
+			p = impact.Perturbation{EdgeID: id, Field: impact.Cost, Value: (2*e.Cost + 1) * rs.Float64()}
+		default:
+			p = impact.Perturbation{EdgeID: id, Field: impact.Loss, Value: 0.9 * rs.Float64()}
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// agreeWithin reports |a−b| ≤ tol·max(1,|a|,|b|): absolute at small scale,
+// relative once the profits reach the model's $k magnitudes.
+func agreeWithin(a, b, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+func profitsDiff(t *testing.T, label string, cold, got actors.Profits, tol float64) {
+	t.Helper()
+	keys := map[string]bool{}
+	for a := range cold {
+		keys[a] = true
+	}
+	for a := range got {
+		keys[a] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for a := range keys {
+		sorted = append(sorted, a)
+	}
+	sort.Strings(sorted)
+	for _, a := range sorted {
+		cv, gv := cold[a], got[a]
+		if tol == 0 {
+			if cv != gv {
+				t.Errorf("%s: actor %s profit delta %v != cold %v (want bit-identical)", label, a, gv, cv)
+			}
+		} else if !agreeWithin(cv, gv, tol) {
+			t.Errorf("%s: actor %s profit delta %v vs cold %v exceeds %g", label, a, gv, cv, tol)
+		}
+	}
+}
+
+// TestDifferentialWarmAndCached is the differential harness locking down the
+// warm-started solve path and the memo cache against the cold solver. For
+// every committed grid and a battery of seeded random perturbation sets it
+// requires:
+//
+//   - warm-started objective (welfare delta) and per-actor profit deltas
+//     agree with the cold two-phase solve within 1e-9 (relative at scale);
+//   - cached Analysis.Of — both the filling miss and the subsequent hit —
+//     is bit-identical to the uncached computation.
+func TestDifferentialWarmAndCached(t *testing.T) {
+	grids := loadTestGrids(t)
+	setsPerGrid := 200 / len(grids)
+	if testing.Short() {
+		setsPerGrid = 10
+	}
+
+	names := make([]string, 0, len(grids))
+	for n := range grids {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		g := grids[name]
+		t.Run(name, func(t *testing.T) {
+			own := actors.RandomOwnership(g, 4, rng.New(42))
+			cold := &impact.Analysis{Graph: g, Ownership: own}
+			cached := &impact.Analysis{Graph: g, Ownership: own,
+				Cache: solvecache.New(4096)}
+			warm := &impact.Analysis{Graph: g, Ownership: own,
+				Cache: solvecache.New(4096), WarmStart: true}
+
+			rs := rng.New(0xD1FF ^ uint64(len(name)))
+			for i := 0; i < setsPerGrid; i++ {
+				ps := randomPerturbationSet(g, rs)
+
+				coldP, coldDW, err := cold.Of(ps...)
+				if err != nil {
+					t.Fatalf("set %d: cold: %v", i, err)
+				}
+
+				// Cache fill (miss) must be bit-identical to uncached.
+				missP, missDW, err := cached.Of(ps...)
+				if err != nil {
+					t.Fatalf("set %d: cached miss: %v", i, err)
+				}
+				if missDW != coldDW {
+					t.Errorf("set %d: cached miss welfare %v != cold %v", i, missDW, coldDW)
+				}
+				profitsDiff(t, "cached miss", coldP, missP, 0)
+
+				// Cache hit must reproduce the same bits again.
+				hitP, hitDW, err := cached.Of(ps...)
+				if err != nil {
+					t.Fatalf("set %d: cached hit: %v", i, err)
+				}
+				if hitDW != coldDW {
+					t.Errorf("set %d: cached hit welfare %v != cold %v", i, hitDW, coldDW)
+				}
+				profitsDiff(t, "cached hit", coldP, hitP, 0)
+
+				// Warm start may land on an alternate optimal basis; the
+				// optimum itself must agree to 1e-9.
+				warmP, warmDW, err := warm.Of(ps...)
+				if err != nil {
+					t.Fatalf("set %d: warm: %v", i, err)
+				}
+				if !agreeWithin(coldDW, warmDW, 1e-9) {
+					t.Errorf("set %d: warm welfare delta %v vs cold %v exceeds 1e-9", i, warmDW, coldDW)
+				}
+				profitsDiff(t, "warm", coldP, warmP, 1e-9)
+			}
+		})
+	}
+}
+
+// TestDifferentialOutageColumns sweeps every single-edge outage (the paper's
+// attack model) on every grid — the exact solves the impact matrix is built
+// from — comparing warm to cold and cached to uncached.
+func TestDifferentialOutageColumns(t *testing.T) {
+	grids := loadTestGrids(t)
+	names := make([]string, 0, len(grids))
+	for n := range grids {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		g := grids[name]
+		t.Run(name, func(t *testing.T) {
+			ids := g.AssetIDs()
+			if testing.Short() && len(ids) > 12 {
+				ids = ids[:12]
+			}
+			own := actors.RandomOwnership(g, 3, rng.New(7))
+			cold := &impact.Analysis{Graph: g, Ownership: own}
+			warm := &impact.Analysis{Graph: g, Ownership: own,
+				Cache: solvecache.New(4096), WarmStart: true}
+			for _, id := range ids {
+				coldP, coldDW, err := cold.Of(impact.Outage(id))
+				if err != nil {
+					t.Fatalf("outage %s: cold: %v", id, err)
+				}
+				warmP, warmDW, err := warm.Of(impact.Outage(id))
+				if err != nil {
+					t.Fatalf("outage %s: warm: %v", id, err)
+				}
+				if !agreeWithin(coldDW, warmDW, 1e-9) {
+					t.Errorf("outage %s: warm welfare delta %v vs cold %v", id, warmDW, coldDW)
+				}
+				profitsDiff(t, "outage "+id, coldP, warmP, 1e-9)
+			}
+		})
+	}
+}

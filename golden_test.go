@@ -10,6 +10,7 @@ import (
 	"cpsguard/internal/core"
 	"cpsguard/internal/experiments"
 	"cpsguard/internal/obs"
+	"cpsguard/internal/solvecache"
 	"cpsguard/internal/telemetry"
 )
 
@@ -105,6 +106,47 @@ func TestGoldenFig5WithObservability(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, artifact)); err != nil {
 			t.Errorf("run artifact %s not written: %v", artifact, err)
 		}
+	}
+}
+
+// TestGoldenFig5CachedWarm re-runs the golden configuration with the solve
+// cache and baseline-basis warm starting enabled — the accelerated
+// configuration cpsexp exposes as -solve-cache/-warm-start — and requires
+// the CSV to stay byte-identical to the committed fixture. This is the
+// enforcement of DESIGN.md §12's determinism statement: the cache is a pure
+// memo and warm starting only changes how the baseline basis is reached,
+// never which profits are reported.
+func TestGoldenFig5CachedWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline golden test")
+	}
+	cfg := goldenCfg()
+	cfg.Cache = solvecache.New(4096)
+	cfg.WarmStart = true
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_fig5.csv"))
+	if err != nil {
+		t.Fatalf("missing fixture (run TestGoldenFig5CSV with -update to create): %v", err)
+	}
+	// Two passes over one shared cache, as `cpsexp -fig all` shares one
+	// across figures: the first fills it (warm-started misses), the second
+	// replays the same scenarios from it. Both must render the fixture's
+	// exact bytes.
+	for pass := 1; pass <= 2; pass++ {
+		tb, err := experiments.Fig5(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tb.CSV(); got != string(want) {
+			t.Fatalf("pass %d: solve cache / warm start perturbed the golden CSV\n--- want ---\n%s\n--- got ---\n%s",
+				pass, want, got)
+		}
+	}
+	st := cfg.Cache.Stats()
+	if st.Misses == 0 {
+		t.Error("golden run never reached the solve cache: the accelerated path was not exercised")
+	}
+	if st.Hits == 0 {
+		t.Errorf("second pass never hit the solve cache (misses %d): scenario salts are not stable", st.Misses)
 	}
 }
 

@@ -240,6 +240,46 @@ func Solve(cfg Config) (plan *Plan, err error) {
 	var abortErr error
 	every := cfg.checkEvery()
 	var cur []int
+
+	// Incremental node evaluation: a child set differs from its parent by
+	// one appended target, so instead of re-summing captured-actor profits
+	// over the whole set at every node (O(actors·depth)), keep per-depth
+	// snapshots of the running per-actor sums and the running cost total
+	// and extend them by one target on push (O(actors)). The snapshots
+	// replay the exact left-to-right additions instance.value performs, so
+	// node values — and therefore pruning decisions and the chosen plan —
+	// are bit-identical to full re-evaluation (regression-tested against
+	// in.value in the solver tests).
+	nA := len(in.actors)
+	depth := 0
+	sums := [][]float64{make([]float64, nA)}
+	negCost := []float64{0}
+	push := func(i int) {
+		prev := sums[depth]
+		depth++
+		if depth >= len(sums) {
+			sums = append(sums, make([]float64, nA))
+			negCost = append(negCost, 0)
+		}
+		next := sums[depth]
+		row := prev
+		for j := 0; j < nA; j++ {
+			next[j] = row[j] + in.im[j][i]
+		}
+		negCost[depth] = negCost[depth-1] - in.cost[i]
+	}
+	pop := func() { depth-- }
+	nodeValue := func() float64 {
+		obj := negCost[depth]
+		s := sums[depth]
+		for j := 0; j < nA; j++ {
+			if s[j] > 0 {
+				obj += s[j]
+			}
+		}
+		return obj
+	}
+
 	var dfs func(k int, spent float64, curOpt float64)
 	dfs = func(k int, spent float64, curOpt float64) {
 		if exhausted {
@@ -265,7 +305,7 @@ func Solve(cfg Config) (plan *Plan, err error) {
 			}
 		}
 		// Evaluate the current set exactly; it is always feasible.
-		if val, _ := in.value(cur); val > bestVal+1e-12 {
+		if val := nodeValue(); val > bestVal+1e-12 {
 			bestVal = val
 			bestSet = append(bestSet[:0], cur...)
 		}
@@ -280,7 +320,9 @@ func Solve(cfg Config) (plan *Plan, err error) {
 		// Branch 1: include target i (if affordable).
 		if spent+in.cost[i] <= in.budget+1e-12 {
 			cur = append(cur, i)
+			push(i)
 			dfs(k+1, spent+in.cost[i], curOpt+math.Max(in.opt[i], 0)+math.Min(in.opt[i], 0))
+			pop()
 			cur = cur[:len(cur)-1]
 		}
 		// Branch 2: exclude target i.

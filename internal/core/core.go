@@ -30,6 +30,7 @@ import (
 	"cpsguard/internal/noise"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
+	"cpsguard/internal/solvecache"
 	"cpsguard/internal/telemetry"
 )
 
@@ -75,6 +76,13 @@ type Scenario struct {
 	DefenseCosts defense.Costs
 	// Parallel configures intra-round fan-out.
 	Parallel parallel.Options
+	// Cache, when non-nil, memoizes dispatch solves across impact
+	// computations (and, via salted keys, safely across scenarios sharing
+	// one cache — see impact/cache.go). Purely an accelerator: results
+	// are unchanged.
+	Cache *solvecache.Cache
+	// WarmStart re-enters dispatch solves from the baseline basis.
+	WarmStart bool
 
 	truth *impact.Matrix // cached ground-truth matrix
 }
@@ -125,6 +133,7 @@ func (s *Scenario) Truth() (*impact.Matrix, error) {
 	an := &impact.Analysis{
 		Graph: s.Graph, Ownership: s.Ownership,
 		Model: s.ProfitModel, Parallel: s.Parallel,
+		Cache: s.Cache, WarmStart: s.WarmStart,
 	}
 	m, err := an.ComputeMatrix(s.targetIDs())
 	if err != nil {
@@ -153,6 +162,7 @@ func (s *Scenario) View(sigma float64, mode NoiseMode, rs *rng.Stream) (*impact.
 		an := &impact.Analysis{
 			Graph: ng, Ownership: s.Ownership,
 			Model: s.ProfitModel, Parallel: s.Parallel,
+			Cache: s.Cache, WarmStart: s.WarmStart,
 		}
 		return an.ComputeMatrix(s.targetIDs())
 	default:

@@ -24,6 +24,7 @@ import (
 	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
+	"cpsguard/internal/solvecache"
 	"cpsguard/internal/stats"
 	"cpsguard/internal/westgrid"
 )
@@ -75,6 +76,16 @@ type Config struct {
 	// failed trials with their durable trial ID. A nil logger is silent;
 	// logging is an observer only and never changes results.
 	Log *obs.Logger
+	// Cache, when non-nil, is shared by every trial's scenario, so
+	// figures that revisit the same (graph, ownership) point — the trial
+	// seeding makes the same scenario recur across figures and resumed
+	// runs — reuse its solved dispatches instead of re-solving. Safe
+	// under trial parallelism (solvecache is concurrency-safe) and
+	// result-neutral: entries are keyed by full scenario fingerprints.
+	Cache *solvecache.Cache
+	// WarmStart makes every scenario warm-start perturbed dispatches
+	// from its baseline basis.
+	WarmStart bool
 }
 
 func (c Config) graph() *graph.Graph {
@@ -132,6 +143,8 @@ func (c Config) scenarioFor(n int, trial int) *core.Scenario {
 	seed := c.seed() ^ (uint64(n) << 32) ^ uint64(trial)*0x9E37
 	s := core.NewScenario(g, n, seed)
 	s.Parallel = parallel.Options{Workers: 1} // trials already parallel
+	s.Cache = c.Cache
+	s.WarmStart = c.WarmStart
 	return s
 }
 

@@ -48,6 +48,14 @@ type Result struct {
 	CapacityRent map[string]float64
 	// Iterations counts simplex pivots (for performance diagnostics).
 	Iterations int
+	// Basis is the optimal simplex basis (nil for solver methods that do
+	// not export one). Feed it to Options.LP.WarmStart on a structurally
+	// identical dispatch — e.g. the same grid with an edge knocked out —
+	// to skip phase 1.
+	Basis *lp.Basis
+	// WarmStarted reports whether this dispatch was solved on the LP
+	// warm path.
+	WarmStarted bool
 }
 
 // Infeasible reports whether a dispatch failed because no feasible flow
@@ -183,6 +191,8 @@ func (b *builder) result(sol *lp.Solution) *Result {
 		Price:        make(map[string]float64, len(g.Vertices)),
 		CapacityRent: make(map[string]float64, len(g.Edges)),
 		Iterations:   sol.Iterations,
+		Basis:        sol.Basis(),
+		WarmStarted:  sol.WarmStarted,
 	}
 	for i, e := range g.Edges {
 		r.Flow[e.ID] = sol.X[b.fVar[i]]

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a hex SHA-256 digest of the graph's full numeric and
+// topological content — name, vertices (ID, supply, cost, demand, price,
+// coordinates) and edges (ID, endpoints, capacity, loss, cost, owner) in
+// declaration order. Two graphs share a fingerprint iff every dispatch,
+// impact, and profit computation over them is identical, which makes the
+// digest the cache-key salt for the solve memo (package solvecache): a
+// perturbed clone or a different ownership draw can never alias a cached
+// result from another grid.
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	wf := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	ws := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	ws(g.Name)
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(g.Vertices)))
+	h.Write(buf[:])
+	for _, v := range g.Vertices {
+		ws(v.ID)
+		wf(v.Supply)
+		wf(v.SupplyCost)
+		wf(v.Demand)
+		wf(v.Price)
+		wf(v.Lat)
+		wf(v.Lon)
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(g.Edges)))
+	h.Write(buf[:])
+	for _, e := range g.Edges {
+		ws(e.ID)
+		ws(e.From)
+		ws(e.To)
+		wf(e.Capacity)
+		wf(e.Loss)
+		wf(e.Cost)
+		ws(e.Owner)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

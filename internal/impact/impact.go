@@ -19,6 +19,7 @@ import (
 	"cpsguard/internal/flow"
 	"cpsguard/internal/graph"
 	"cpsguard/internal/parallel"
+	"cpsguard/internal/solvecache"
 )
 
 // Field names a perturbable edge parameter.
@@ -97,6 +98,16 @@ type Analysis struct {
 	Model actors.ProfitModel
 	// Parallel configures fan-out across targets (default: all cores).
 	Parallel parallel.Options
+	// Cache, when non-nil, memoizes perturbed solves (and the baseline) so
+	// repeated evaluations of the same attack set — across matrix builds,
+	// adversary searches, and experiment trials on the same scenario —
+	// skip the dispatch entirely. The cache is a pure memo: results are
+	// bit-identical with and without it. See cache.go for the key scheme.
+	Cache *solvecache.Cache
+	// WarmStart re-enters the dispatch simplex from the baseline optimal
+	// basis instead of solving two-phase from scratch. Results agree with
+	// cold solves within solver tolerance.
+	WarmStart bool
 }
 
 func (a *Analysis) model() actors.ProfitModel {
@@ -123,36 +134,12 @@ func (a *Analysis) Baseline() (actors.Profits, *flow.Result, error) {
 // Of measures the impact of a single attack (set of perturbations): the
 // per-actor profit deltas and the system welfare delta.
 func (a *Analysis) Of(ps ...Perturbation) (actors.Profits, float64, error) {
-	base, baseR, err := a.Baseline()
+	salt := a.salt()
+	base, err := a.baseline(salt)
 	if err != nil {
 		return nil, 0, err
 	}
-	return a.ofWithBaseline(base, baseR, ps...)
-}
-
-func (a *Analysis) ofWithBaseline(base actors.Profits, baseR *flow.Result, ps ...Perturbation) (actors.Profits, float64, error) {
-	gp, err := Apply(a.Graph, ps...)
-	if err != nil {
-		return nil, 0, err
-	}
-	r, err := flow.Dispatch(gp)
-	if err != nil {
-		return nil, 0, err
-	}
-	p, err := a.model().Divide(gp, r, a.Ownership)
-	if err != nil {
-		return nil, 0, err
-	}
-	delta := actors.Profits{}
-	for actor, v := range p {
-		delta[actor] = v - base[actor]
-	}
-	for actor, v := range base {
-		if _, ok := p[actor]; !ok {
-			delta[actor] = -v
-		}
-	}
-	return delta, r.Welfare - baseR.Welfare, nil
+	return a.ofCached(salt, base, ps)
 }
 
 // Matrix is the impact matrix IM[a][t] plus bookkeeping.
@@ -225,7 +212,8 @@ func (a *Analysis) ComputeMatrixOf(targets []string, mk func(id string) []Pertur
 	if targets == nil {
 		targets = a.Graph.AssetIDs()
 	}
-	base, baseR, err := a.Baseline()
+	salt := a.salt()
+	base, err := a.baseline(salt)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +222,7 @@ func (a *Analysis) ComputeMatrixOf(targets []string, mk func(id string) []Pertur
 		dw     float64
 	}
 	cols, err := parallel.Map(len(targets), a.Parallel, func(i int) (col, error) {
-		deltas, dw, err := a.ofWithBaseline(base, baseR, mk(targets[i])...)
+		deltas, dw, err := a.ofCached(salt, base, mk(targets[i]))
 		if err != nil {
 			return col{}, fmt.Errorf("target %s: %w", targets[i], err)
 		}
@@ -248,7 +236,7 @@ func (a *Analysis) ComputeMatrixOf(targets []string, mk func(id string) []Pertur
 		WelfareDelta:    map[string]float64{},
 		Targets:         append([]string(nil), targets...),
 		Actors:          a.Ownership.Actors(),
-		BaselineWelfare: baseR.Welfare,
+		BaselineWelfare: base.welfare,
 	}
 	// Ensure every owning actor has a row even if all its deltas are 0.
 	for _, actor := range m.Actors {

@@ -96,6 +96,12 @@ type boundedTableau struct {
 // solveBounded is the entry point used by Problem.SolveOpts for
 // MethodBounded.
 func solveBounded(p *Problem, opts Options, g *guard) (*Solution, error) {
+	if opts.WarmStart != nil {
+		if sol, err, ok := solveBoundedWarm(p, opts, g); ok {
+			return sol, err
+		}
+		mWarmFallbacks.Inc()
+	}
 	t := newBoundedTableau(p, opts)
 	t.g = g
 	st := t.run()
@@ -467,6 +473,7 @@ func (t *boundedTableau) extract(p *Problem) (*Solution, error) {
 		obj += p.obj[j] * x
 	}
 	sol.Objective = obj
+	sol.basis = t.captureBasis()
 
 	if t.skipDuals {
 		return sol, nil

@@ -218,6 +218,13 @@ type Solution struct {
 	// Fallbacks records resilience degradations applied by SolveResilient
 	// ("bland-restart: ...", ...). Empty for a clean first-attempt solve.
 	Fallbacks []string
+	// WarmStarted reports that this solution was produced by the warm path
+	// (phase 2 re-entered from Options.WarmStart). False when no basis was
+	// supplied or the basis was rejected and the solver fell back to cold.
+	WarmStarted bool
+
+	// basis is the optimal basis (bounded method only); see Basis().
+	basis *Basis
 }
 
 // Options tunes the solver. The zero value selects defaults.
@@ -248,6 +255,13 @@ type Options struct {
 	// Hook is an optional fault-injection / instrumentation checkpoint;
 	// see the Hook type.
 	Hook Hook
+	// WarmStart, when non-nil, re-enters phase 2 from the supplied basis
+	// (typically Solution.Basis() of a structurally identical problem),
+	// skipping phase 1. A basis that is stale — wrong dimensions, wrong
+	// method, singular or primal infeasible for this problem — is rejected
+	// and the solve falls back to the cold two-phase path, so results are
+	// never affected, only cost. See warmstart.go.
+	WarmStart *Basis
 }
 
 func (o Options) tol() float64 {

@@ -16,6 +16,17 @@ var (
 	mFallbacks     = telemetry.NewCounter("lp.fallbacks")
 	mPivotsHist    = telemetry.NewHistogram("lp.pivots_per_solve", telemetry.WorkEdges)
 
+	// Warm-start attribution: attempts = solves entered with a basis,
+	// solves = attempts that finished on the warm path, fallbacks =
+	// attempts rejected into the cold two-phase path. warm/cold pivot
+	// totals split lp.pivots by which path performed them (wasted pivots
+	// from abandoned warm attempts are booked under warm_pivots).
+	mWarmAttempts  = telemetry.NewCounter("lp.warm_attempts")
+	mWarmSolves    = telemetry.NewCounter("lp.warm_solves")
+	mWarmFallbacks = telemetry.NewCounter("lp.warm_fallbacks")
+	mWarmPivots    = telemetry.NewCounter("lp.warm_pivots")
+	mColdPivots    = telemetry.NewCounter("lp.cold_pivots")
+
 	mStatus = func() map[Status]*telemetry.Counter {
 		out := map[Status]*telemetry.Counter{}
 		for _, st := range []Status{Optimal, Infeasible, Unbounded, IterationLimit,
@@ -40,6 +51,11 @@ func recordSolve(sp *telemetry.Span, sol *Solution, err error) {
 		mStatus[sol.Status].Inc()
 		mPivots.Add(int64(sol.Iterations))
 		mPivotsHist.Observe(int64(sol.Iterations))
+		if sol.WarmStarted {
+			mWarmPivots.Add(int64(sol.Iterations))
+		} else {
+			mColdPivots.Add(int64(sol.Iterations))
+		}
 		sp.SetWork(int64(sol.Iterations))
 	}
 	sp.End()

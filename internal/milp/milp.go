@@ -142,6 +142,10 @@ func Solve(p Problem, opts Options) (sol *Solution, err error) {
 	}
 	// Relaxation solves parent under this MILP span in the trace tree.
 	lpOpts.Ctx = telemetry.ContextWithSpan(lpOpts.Ctx, sp)
+	// Branch and bound consumes only primal values and objectives; skip
+	// dual extraction (an O(m³) solve per relaxation) and with it the
+	// spurious singular-basis failures degenerate fixings can produce.
+	lpOpts.SkipDuals = true
 
 	// partial assembles the degraded-termination solution around the best
 	// incumbent found so far (if any).
