@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-warm bench-smoke fuzz-smoke crash-resume clean
+.PHONY: ci vet build test race bench bench-warm bench-shard bench-smoke fuzz-smoke crash-resume shard-smoke clean
 
-ci: vet build race bench-smoke fuzz-smoke crash-resume
+ci: vet build race bench-smoke fuzz-smoke crash-resume shard-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,12 @@ bench:
 bench-warm:
 	BENCH_WARM_OUT=BENCH_warmstart.json $(GO) test -run '^TestBenchWarmstart$$' -count=1 -v .
 
+# Shard-merge throughput report: times the full merge path (discovery,
+# CRC/partition validation, replay union) over an 8-way fleet and writes
+# BENCH_shard.json pairing ns/op with the merge validation counters.
+bench-shard:
+	BENCH_SHARD_OUT=BENCH_shard.json $(GO) test -run '^TestBenchShard$$' -count=1 -v .
+
 # One-iteration pass over every benchmark: catches benchmarks that no longer
 # compile or panic, without paying for a timed run. Part of ci.
 bench-smoke:
@@ -54,11 +60,31 @@ crash-resume:
 	$(GO) test ./internal/experiments/ -run 'TestResume|TestRetries' -count=1
 	$(GO) test ./internal/repeated/ -run 'TestResume' -count=1
 
+# Sharded-sweep acceptance: the shard/supervisor/merge unit and integration
+# tests, then an end-to-end binary check — a supervised 2-shard run, merged,
+# must produce a CSV with the same checksum as a single-process run of the
+# same seeded sweep.
+shard-smoke:
+	$(GO) test ./internal/shard/ -count=1
+	$(GO) test ./internal/experiments/ -run 'TestShard|TestStrictReplay' -count=1
+	$(GO) build -o /tmp/cpsguard-shard-smoke/cpsexp ./cmd/cpsexp
+	rm -rf /tmp/cpsguard-shard-smoke/run
+	/tmp/cpsguard-shard-smoke/cpsexp -quick -fig 5 -seed 7 -log-level warn \
+		-csv /tmp/cpsguard-shard-smoke/run/single >/dev/null
+	/tmp/cpsguard-shard-smoke/cpsexp -quick -fig 5 -seed 7 -log-level warn \
+		-shard-supervise 2 -shard-dir /tmp/cpsguard-shard-smoke/run/shards >/dev/null
+	/tmp/cpsguard-shard-smoke/cpsexp -quick -fig 5 -seed 7 -log-level warn \
+		-shard-merge /tmp/cpsguard-shard-smoke/run/shards \
+		-csv /tmp/cpsguard-shard-smoke/run/merged >/dev/null
+	cmp /tmp/cpsguard-shard-smoke/run/single/fig5.csv /tmp/cpsguard-shard-smoke/run/merged/fig5.csv
+	@echo "shard-smoke: merged CSV byte-identical to single-process run"
+
 # Remove build and scratch artifacts. The reference CSVs committed under
 # results/ are deliberately preserved: they are reviewed outputs, not
 # build products.
 clean:
 	$(GO) clean ./...
-	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen BENCH_telemetry.json BENCH_warmstart.json
+	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen BENCH_telemetry.json BENCH_warmstart.json BENCH_shard.json
+	rm -rf /tmp/cpsguard-shard-smoke
 	find . -name '*.journal' -not -path './results/*' -delete
 	find . -name '*.test' -delete

@@ -1,0 +1,121 @@
+// Shard-merge benchmark report: `make bench-shard` runs TestBenchShard with
+// BENCH_SHARD_OUT set, which times BenchmarkShardMerge programmatically and
+// writes BENCH_shard.json (same cpsguard-bench/v1 envelope as
+// BENCH_telemetry.json) pairing the merge's ns/op with its validation
+// counters, so merge throughput regressions and validation-work drift land
+// in one reviewable file.
+package cpsguard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"cpsguard/internal/atomicio"
+	"cpsguard/internal/checkpoint"
+	"cpsguard/internal/shard"
+	"cpsguard/internal/telemetry"
+)
+
+// buildShardFleet writes an n-way shard layout with trialsPerShard journaled
+// trials each — the merge benchmark's fixture.
+func buildShardFleet(tb testing.TB, parent string, n, trialsPerShard int) {
+	tb.Helper()
+	for i := 0; i < n; i++ {
+		a := shard.Assignment{Index: i, Count: n}
+		dir := filepath.Join(parent, a.DirName())
+		j, err := checkpoint.Create(filepath.Join(dir, shard.JournalName), checkpoint.Options{NoSync: true})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for k := 0; k < trialsPerShard; k++ {
+			trial := k*n + i // the k-th trial this shard owns
+			id := checkpoint.TrialID(7, fmt.Sprintf("bench point %d", trial%8), trial)
+			if err := j.Append(id, true, map[string]float64{"profit": float64(trial)}, ""); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		m := shard.NewManifest(a, 7, "bench")
+		m.JournalRecords = trialsPerShard
+		m.Executed = trialsPerShard
+		m.Completed = true
+		if err := j.Close(); err != nil {
+			tb.Fatal(err)
+		}
+		m.StampJournal(dir)
+		if err := m.Write(dir); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardMerge times the full merge path — discovery, manifest and
+// CRC validation, partition audit, replay union — over an 8-way fleet of
+// 250-trial journals (2000 records per op).
+func BenchmarkShardMerge(b *testing.B) {
+	parent := b.TempDir()
+	buildShardFleet(b, parent, 8, 250)
+	dirs, err := shard.DiscoverShards(parent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := shard.Merge(dirs, shard.MergeOptions{ExpectKey: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trials != 2000 {
+			b.Fatalf("merged %d trials, want 2000", res.Trials)
+		}
+	}
+}
+
+// TestBenchShard is gated by BENCH_SHARD_OUT: unset, it skips; set, it runs
+// BenchmarkShardMerge and writes the JSON report to that path.
+func TestBenchShard(t *testing.T) {
+	out := os.Getenv("BENCH_SHARD_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SHARD_OUT=path to run the shard-merge benchmark")
+	}
+	reg := telemetry.Default()
+	reg.Reset()
+	r := testing.Benchmark(BenchmarkShardMerge)
+	snap := reg.Snapshot(telemetry.SnapshotOptions{})
+	counters := make(map[string]int64, len(snap.Counters))
+	for name, v := range snap.Counters {
+		if v != 0 {
+			counters[name] = v
+		}
+	}
+	reg.Reset()
+	report := benchTelemetryReport{
+		Schema:    benchSchema,
+		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
+		Benchmarks: map[string]benchTelemetryEntry{
+			"ShardMerge": {
+				Iterations:  r.N,
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Counters:    counters,
+			},
+		},
+	}
+	if counters["shard.merges"] == 0 || counters["shard.merged_records"] == 0 {
+		t.Errorf("merge counters missing from benchmark snapshot: %v", counters)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := atomicio.MkdirAllAndWrite(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ShardMerge: %d iter, %d ns/op; wrote %s (%d bytes)", r.N, r.NsPerOp(), out, len(data))
+}

@@ -9,6 +9,9 @@
 //	       [-journal FILE] [-resume] [-retries N] [-trial-timeout D]
 //	       [-obs DIR] [-log-level LEVEL]
 //	       [-metrics FILE] [-trace] [-debug-addr ADDR]
+//	cpsexp -shard i/n -shard-dir DIR [sweep flags]
+//	cpsexp -shard-supervise n -shard-dir DIR [sweep flags]
+//	cpsexp -shard-merge DIR [sweep flags] [-csv OUT]
 //
 // -quick shrinks grids and trial counts for a fast smoke run; the default
 // configuration reproduces the shapes reported in EXPERIMENTS.md.
@@ -20,6 +23,23 @@
 // on per-trial retry with capped backoff for transient solve errors, and
 // -trial-timeout arms a watchdog that flags and once requeues trials that
 // exceed the per-trial deadline.
+//
+// The shard modes scale the same sweep across processes. -shard i/n runs
+// only the trials with index ≡ i (mod n), journaling them (with a shard
+// manifest and telemetry snapshot) into -shard-dir/shard-III-of-NNN; it
+// prints no tables — a shard's product is its journal. -shard-supervise n
+// runs all n shards as child processes of this binary under a journal-growth
+// watchdog, restarting crashed or stalled shards with capped backoff (each
+// restart resumes from the shard's journal) and abandoning a shard after
+// -shard-restarts failures. -shard-merge DIR validates the shard
+// directories (CRC + sequence continuity, torn-tail repair, no overlapping
+// or missing seed ranges, matching sweep configuration), then re-renders the
+// figures with every trial replayed from the merged journals — byte-identical
+// to a single-process run — and writes DIR/manifest.json recording every
+// shard's digests and fault history. With -debug-addr, the process also
+// serves POST /shards/ingest and GET /shards/rollup so a supervised fleet's
+// counters can be watched in one place; shards POST there when given
+// -shard-report.
 //
 // -obs makes the run fully observable: a debug-level structured event
 // stream (events.jsonl) is written live into the directory, span tracing is
@@ -35,6 +55,12 @@
 // includes them plus the wall-clock timing histograms in the dump.
 // -debug-addr serves live /metrics, /debug/vars and /debug/pprof endpoints
 // while the sweep runs.
+//
+// Exit codes: 0 success; 1 fatal error; 2 usage; 3 the sweep completed but
+// at least one trial was abandoned after exhausting its retries (the
+// failures are tolerated in the aggregates per -max-fault-rate, journaled,
+// and reported as a structured error event — but the operator must know the
+// data is degraded); 130 interrupted.
 package main
 
 import (
@@ -49,11 +75,20 @@ import (
 	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
 	"cpsguard/internal/experiments"
+	"cpsguard/internal/faultinject"
 	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
+	"cpsguard/internal/shard"
 	"cpsguard/internal/solvecache"
 	"cpsguard/internal/stats"
 	"cpsguard/internal/telemetry"
+)
+
+// Exit codes (see package doc).
+const (
+	exitFatal           = 1
+	exitUsage           = 2
+	exitAbandonedTrials = 3
 )
 
 func main() {
@@ -66,6 +101,7 @@ func main() {
 	chart := flag.Bool("chart", false, "also render each figure as an ASCII chart")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	faultRate := flag.Float64("max-fault-rate", 0, "tolerated fraction of failed trials per point (0 = strict)")
+	chaosRate := flag.Float64("chaos", 0, "fail this fraction of trials with an injected transient error (deterministic in -seed; fault-injection testing aid)")
 	journal := flag.String("journal", "", "stream per-trial results to this crash-safe journal file")
 	resume := flag.Bool("resume", false, "replay completed trials from the -journal file and run only the remainder")
 	retries := flag.Int("retries", 0, "per-trial retries with capped backoff for transient solve errors")
@@ -74,15 +110,39 @@ func main() {
 	logLevel := flag.String("log-level", "info", "stderr log verbosity: debug, info, warn, or error")
 	metricsPath := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at sweep end")
 	trace := flag.Bool("trace", false, "collect per-solve span traces and include them (plus wall-clock timings) in -metrics")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /shards/* on this address (e.g. localhost:6060)")
 	solveCache := flag.Int("solve-cache", 0, "share an N-entry LRU dispatch-solve memo across all trials (0 = off); results are unchanged")
 	warmStart := flag.Bool("warm-start", false, "warm-start perturbed dispatch solves from each scenario's baseline basis")
+	shardSpec := flag.String("shard", "", "run only shard i/n of the sweep (0-based, e.g. 0/4), journaling into -shard-dir")
+	shardDir := flag.String("shard-dir", "shards", "parent directory for per-shard journals, manifests, and snapshots")
+	shardSupervise := flag.Int("shard-supervise", 0, "run the sweep as n supervised child-process shards into -shard-dir")
+	shardMergeDir := flag.String("shard-merge", "", "merge the shard directories under this parent and render the combined figures")
+	shardReport := flag.String("shard-report", "", "POST this shard's counter snapshots to a supervisor debug address (host:port)")
+	shardStall := flag.Duration("shard-stall", 2*time.Minute, "supervisor: restart a shard whose journal stops growing for this long (0 = off)")
+	shardRestarts := flag.Int("shard-restarts", 2, "supervisor: restarts per shard before abandoning it")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cpsexp: %v\n", err)
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	shardMode := *shardSpec != ""
+	mergeMode := *shardMergeDir != ""
+	superviseMode := *shardSupervise > 0
+	modes := 0
+	for _, on := range []bool{shardMode, mergeMode, superviseMode} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "cpsexp: -shard, -shard-supervise, and -shard-merge are mutually exclusive")
+		os.Exit(exitUsage)
+	}
+	if modes > 0 && (*journal != "" || *resume) {
+		fmt.Fprintln(os.Stderr, "cpsexp: shard modes manage their own journals; drop -journal/-resume")
+		os.Exit(exitUsage)
 	}
 	if *trace {
 		telemetry.Default().EnableTracing(true)
@@ -96,22 +156,64 @@ func main() {
 	fatal := func(err error) {
 		logger.Error("fatal", obs.F("err", err))
 		run.Close()
-		os.Exit(1)
+		os.Exit(exitFatal)
 	}
 
-	stopDebug := cli.StartDebug(*debugAddr, logger)
+	// The aggregation endpoints ride the debug mux whenever it is on, so a
+	// supervising cpsexp (or any process the operator points shards at)
+	// doubles as the fleet's rollup server.
+	agg := shard.NewAggregator()
+	debugBound, stopDebug := cli.StartDebugWith(*debugAddr, logger, mountAggregator(agg))
 	defer stopDebug()
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
 
+	if superviseMode {
+		reportURL := ingestURL(*shardReport)
+		if reportURL == "" && debugBound != "" {
+			reportURL = ingestURL(debugBound)
+		}
+		if err := os.MkdirAll(*shardDir, 0o755); err != nil {
+			fatal(err)
+		}
+		report, supErr := superviseShards(ctx, *shardSupervise, *shardDir, reportURL,
+			*shardStall, *shardRestarts, *seed, logger)
+		if report != nil {
+			for _, s := range report.Shards {
+				logger.Info("shard supervised", obs.F("shard", s.Index),
+					obs.F("done", s.Done), obs.F("restarts", s.Restarts),
+					obs.F("stalls", s.Stalls), obs.F("err", s.Err))
+			}
+		}
+		if supErr != nil {
+			cli.ExitCanceled(ctx, supErr, "shard supervision interrupted")
+			fatal(supErr)
+		}
+		logger.Info("all shards completed", obs.F("shards", *shardSupervise),
+			obs.F("dir", *shardDir))
+		cli.MustPrintf("supervised %d shards into %s; merge with: cpsexp -shard-merge %s [same sweep flags]\n",
+			*shardSupervise, *shardDir, *shardDir)
+		cli.WriteMetrics(*metricsPath, *trace, logger)
+		if err := run.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cpsexp: %v\n", err)
+			os.Exit(exitFatal)
+		}
+		return
+	}
+
 	faultLog := &experiments.FaultLog{}
+	var chaosHook func(string) error
+	if *chaosRate > 0 {
+		chaosHook = faultinject.New(*seed).Arm("experiments.trial", faultinject.Error, *chaosRate).Hook
+		logger.Warn("chaos armed", obs.F("rate", *chaosRate), obs.F("seed", *seed))
+	}
 	cache := solvecache.New(*solveCache)
 	cfg := experiments.Config{
 		Trials:    *trials,
 		Seed:      *seed,
 		Parallel:  parallel.Options{Context: ctx, Log: logger},
-		Faults:    experiments.FaultPolicy{MaxFailureRate: *faultRate, Log: faultLog},
+		Faults:    experiments.FaultPolicy{MaxFailureRate: *faultRate, Hook: chaosHook, Log: faultLog},
 		Log:       logger,
 		Cache:     cache,
 		WarmStart: *warmStart,
@@ -124,43 +226,65 @@ func main() {
 				obs.F("capacity", st.Capacity))
 		}
 	}()
-	if *resume && *journal == "" {
-		fatal(fmt.Errorf("-resume requires -journal"))
-	}
-	if *journal != "" || *retries > 0 || *trialTimeout > 0 {
-		sweep := &checkpoint.Sweep{
-			Retry:    checkpoint.Retrier{MaxRetries: *retries, Seed: *seed, Log: logger},
-			Watchdog: checkpoint.Watchdog{Deadline: *trialTimeout},
-			Log:      logger,
+
+	var sr *shardRun
+	var mergeRes *shard.MergeResult
+	switch {
+	case shardMode:
+		sr, err = prepareShardRun(*shardSpec, *shardDir, *seed, *retries,
+			*trialTimeout, ingestURL(*shardReport), logger)
+		if err != nil {
+			fatal(err)
 		}
-		if *journal != "" {
-			var j *checkpoint.Journal
-			var rep *checkpoint.Replay
-			var err error
-			if *resume {
-				run.AddInput(*journal)
-				j, rep, err = checkpoint.Resume(*journal, checkpoint.Options{})
-				if err != nil {
-					fatal(err)
-				}
-				if rep.TruncatedBytes > 0 {
-					logger.Warn("journal tail truncated",
-						obs.F("journal", *journal), obs.F("bytes", rep.TruncatedBytes))
-				}
-				logger.Info("resuming from journal",
-					obs.F("journal", *journal), obs.F("completed_trials", rep.Len()))
-				run.Manifest.Note("resumed %d trials from %s", rep.Len(), *journal)
-			} else {
-				j, err = checkpoint.Create(*journal, checkpoint.Options{})
-				if err != nil {
-					fatal(err)
-				}
-			}
-			defer j.Close()
-			sweep.Journal = j
-			sweep.Replay = rep
+		cfg.Sweep = sr.Sweep
+		cfg.Shard = &sr.Assignment
+	case mergeMode:
+		var sweep *checkpoint.Sweep
+		sweep, mergeRes, err = mergeShards(*shardMergeDir, logger)
+		if err != nil {
+			fatal(err)
 		}
+		sweep.Retry = checkpoint.Retrier{MaxRetries: *retries, Seed: *seed, Log: logger}
 		cfg.Sweep = sweep
+	default:
+		if *resume && *journal == "" {
+			fatal(fmt.Errorf("-resume requires -journal"))
+		}
+		if *journal != "" || *retries > 0 || *trialTimeout > 0 {
+			sweep := &checkpoint.Sweep{
+				Retry:    checkpoint.Retrier{MaxRetries: *retries, Seed: *seed, Log: logger},
+				Watchdog: checkpoint.Watchdog{Deadline: *trialTimeout},
+				Log:      logger,
+			}
+			if *journal != "" {
+				var j *checkpoint.Journal
+				var rep *checkpoint.Replay
+				var err error
+				if *resume {
+					run.AddInput(*journal)
+					j, rep, err = checkpoint.Resume(*journal, checkpoint.Options{})
+					if err != nil {
+						fatal(err)
+					}
+					if rep.TruncatedBytes > 0 {
+						logger.Warn("journal tail truncated",
+							obs.F("journal", *journal), obs.F("bytes", rep.TruncatedBytes))
+					}
+					logger.Info("resuming from journal",
+						obs.F("journal", *journal), obs.F("completed_trials", rep.Len()))
+					run.Manifest.Note("resumed %d trials from %s", rep.Len(), *journal)
+				} else {
+					j, err = checkpoint.Create(*journal, checkpoint.Options{})
+					if err != nil {
+						fatal(err)
+					}
+				}
+				defer j.Close()
+				sweep.Journal = j
+				sweep.Replay = rep
+			}
+			cfg.Sweep = sweep
+		}
 	}
 	if *mode == "matrix" {
 		cfg.NoiseMode = core.MatrixNoise
@@ -193,13 +317,20 @@ func main() {
 		fatal(fmt.Errorf("unknown figure %q (want 2..7, all, ext, baseline, deception, vectors)", *fig))
 	}
 
+	var csvOutputs []string
 	for fi, f := range order {
 		start := time.Now()
 		tb, err := runners[f](cfg)
 		if err != nil {
+			if sr != nil {
+				sr.finish(false, err, 0)
+			}
 			cli.ExitCanceled(ctx, err,
 				fmt.Sprintf("%d/%d figures completed (interrupted in fig %s)", fi, len(order), f))
 			fatal(fmt.Errorf("fig %s: %w", f, err))
+		}
+		if sr != nil {
+			continue // a shard's product is its journal, not tables
 		}
 		cli.MustPrintf("%s\n(%.1fs)\n\n", tb.Render(), time.Since(start).Seconds())
 		if *chart {
@@ -213,6 +344,7 @@ func main() {
 			if err := atomicio.MkdirAllAndWrite(path, data, 0o644); err != nil {
 				fatal(err)
 			}
+			csvOutputs = append(csvOutputs, path)
 			run.AddOutput(path)
 			logger.Info("wrote csv", obs.F("path", path), obs.F("bytes", len(data)),
 				obs.F("crc32", fmt.Sprintf("%08x", tb.Checksum())))
@@ -222,18 +354,36 @@ func main() {
 		logger.Info("journal summary", obs.F("journal", sweep.Journal.Path()),
 			obs.F("executed", sweep.Executed()), obs.F("replayed", sweep.Replayed()),
 			obs.F("seq", sweep.Journal.Seq()))
-		run.AddOutput(sweep.Journal.Path())
+		if sr == nil {
+			run.AddOutput(sweep.Journal.Path())
+		}
 	}
 	// Fault-tolerance summary: one structured event per failed-but-tolerated
-	// trial, plus an aggregate, replacing the old freeform stderr block.
+	// trial, plus an aggregate. Tolerated failures keep the sweep going but
+	// degrade the data, so they turn the exit code non-zero below.
+	abandoned := len(faultLog.Failures())
 	if fails := faultLog.Failures(); len(fails) > 0 {
-		logger.Warn("tolerated failed trials", obs.F("failed", len(fails)),
-			obs.F("trials", faultLog.Trials()),
-			obs.F("rate", faultLog.FailureRate()))
 		for _, f := range fails {
 			logger.Warn("tolerated trial failure", obs.F("point", f.Point),
 				obs.F("trial_index", f.Trial), obs.F("err", f.Err))
 		}
+		logger.Error("trials abandoned after retries", obs.F("abandoned", abandoned),
+			obs.F("trials", faultLog.Trials()), obs.F("rate", faultLog.FailureRate()),
+			obs.F("exit_code", exitAbandonedTrials))
+	}
+	if sr != nil {
+		if err := sr.finish(true, nil, abandoned); err != nil {
+			fatal(err)
+		}
+	}
+	if mergeRes != nil {
+		logger.Info("merge verified", obs.F("shards", mergeRes.Count),
+			obs.F("trials_replayed", cfg.Sweep.Replayed()))
+		if err := writeMergedManifest(*shardMergeDir, mergeRes, *seed, csvOutputs); err != nil {
+			fatal(err)
+		}
+		logger.Info("wrote merged manifest",
+			obs.F("path", filepath.Join(*shardMergeDir, "manifest.json")))
 	}
 	cli.WriteMetrics(*metricsPath, *trace, logger)
 	if *metricsPath != "" {
@@ -241,6 +391,9 @@ func main() {
 	}
 	if err := run.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "cpsexp: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitFatal)
+	}
+	if abandoned > 0 {
+		os.Exit(exitAbandonedTrials)
 	}
 }

@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,14 +50,14 @@ func main() {
 	}
 	a, err := loadRun(*runDir, *journalPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cpsreport: %v\n", err)
+		fmt.Fprintf(os.Stderr, "cpsreport: -run: %v\n", err)
 		os.Exit(1)
 	}
 	var report string
 	if *diffDir != "" {
 		b, err := loadRun(*diffDir, "")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpsreport: %v\n", err)
+			fmt.Fprintf(os.Stderr, "cpsreport: -diff: %v\n", err)
 			os.Exit(1)
 		}
 		report = renderDiff(a, b)
@@ -74,11 +75,21 @@ func main() {
 }
 
 // loadRun reads a run directory. The manifest is mandatory (it is the run's
-// identity); metrics, trace, events, and journal degrade to Missing notes.
+// identity); metrics, trace, events, and journal degrade to Missing notes. A
+// missing or unreadable manifest names the directory at fault, so a -diff
+// between two directories always says which side is broken.
 func loadRun(dir, journalPath string) (*runData, error) {
+	if fi, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("run directory %s: %w", dir, err)
+	} else if !fi.IsDir() {
+		return nil, fmt.Errorf("run directory %s is not a directory", dir)
+	}
 	m, err := manifest.Load(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%s has no manifest.json — not a run directory (runs are written with -obs DIR)", dir)
+	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s: unreadable manifest: %w", dir, err)
 	}
 	d := &runData{Dir: dir, Manifest: m}
 	miss := func(format string, args ...any) {

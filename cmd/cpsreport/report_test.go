@@ -153,3 +153,30 @@ func TestLoadEventsSkipsTornTail(t *testing.T) {
 		t.Fatalf("want 1 parsed event, got %+v", events)
 	}
 }
+
+// TestLoadRunNamesTheBrokenDirectory: the satellite contract for -diff —
+// whichever side lacks (or has a corrupt) manifest.json, the error must name
+// that directory so the operator knows which run is at fault.
+func TestLoadRunNamesTheBrokenDirectory(t *testing.T) {
+	missing := t.TempDir()
+	_, err := loadRun(missing, "")
+	if err == nil || !strings.Contains(err.Error(), missing) ||
+		!strings.Contains(err.Error(), "manifest.json") {
+		t.Fatalf("missing-manifest err = %v, want one naming %s", err, missing)
+	}
+
+	corrupt := t.TempDir()
+	if err := os.WriteFile(filepath.Join(corrupt, "manifest.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = loadRun(corrupt, "")
+	if err == nil || !strings.Contains(err.Error(), corrupt) ||
+		!strings.Contains(err.Error(), "unreadable manifest") {
+		t.Fatalf("corrupt-manifest err = %v, want unreadable-manifest error naming %s", err, corrupt)
+	}
+
+	_, err = loadRun(filepath.Join(missing, "never-created"), "")
+	if err == nil || !strings.Contains(err.Error(), "run directory") {
+		t.Fatalf("nonexistent-dir err = %v, want run-directory error", err)
+	}
+}

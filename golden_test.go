@@ -6,10 +6,12 @@ import (
 	"path/filepath"
 	"testing"
 
+	"cpsguard/internal/checkpoint"
 	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
 	"cpsguard/internal/experiments"
 	"cpsguard/internal/obs"
+	"cpsguard/internal/shard"
 	"cpsguard/internal/solvecache"
 	"cpsguard/internal/telemetry"
 )
@@ -167,5 +169,70 @@ func TestGoldenRunIsDeterministic(t *testing.T) {
 	}
 	if a.CSV() != b.CSV() {
 		t.Fatalf("two identical seeded runs diverged:\n--- first ---\n%s\n--- second ---\n%s", a.CSV(), b.CSV())
+	}
+}
+
+// TestGoldenFig5Sharded runs the golden configuration as a 2-way sharded
+// sweep — each shard journaling only its owned trials into its own
+// directory — then merges the journals and re-renders Fig5 in strict replay
+// mode. The result must be byte-identical to the committed fixture: sharding
+// is a pure execution strategy, never a numeric one.
+func TestGoldenFig5Sharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline golden test")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_fig5.csv"))
+	if err != nil {
+		t.Fatalf("missing fixture (run TestGoldenFig5CSV with -update to create): %v", err)
+	}
+
+	parent := t.TempDir()
+	for i := 0; i < 2; i++ {
+		a := shard.Assignment{Index: i, Count: 2}
+		dir := filepath.Join(parent, a.DirName())
+		j, err := checkpoint.Create(filepath.Join(dir, shard.JournalName), checkpoint.Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := goldenCfg()
+		sweep := &checkpoint.Sweep{Journal: j}
+		cfg.Sweep = sweep
+		cfg.Shard = &a
+		if _, err := experiments.Fig5(cfg); err != nil {
+			t.Fatal(err)
+		}
+		m := shard.NewManifest(a, cfg.Seed, "golden")
+		m.JournalRecords = int(j.Seq())
+		m.Executed = sweep.Executed()
+		m.Completed = true
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		m.StampJournal(dir)
+		if err := m.Write(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dirs, err := shard.DiscoverShards(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := shard.Merge(dirs, shard.MergeOptions{ExpectKey: "golden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenCfg()
+	sweep := &checkpoint.Sweep{Replay: res.Replay, RequireReplay: true}
+	cfg.Sweep = sweep
+	tb, err := experiments.Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Executed() != 0 {
+		t.Fatalf("merged golden run executed %d trials; strict replay must execute none", sweep.Executed())
+	}
+	if got := tb.CSV(); got != string(want) {
+		t.Fatalf("sharded golden CSV drifted from fixture\n--- want ---\n%s\n--- got ---\n%s", want, got)
 	}
 }

@@ -321,3 +321,26 @@ func (r *Replay) IDs() []string {
 	return append([]string(nil), r.order...)
 }
 
+// MergeReplays unions independent shard replays into one. A trial ID
+// present in more than one replay is an error — shards partition the trial
+// space, so a duplicate means two shards ran overlapping seed ranges and
+// one of them must be discarded, a decision no merge should make silently.
+// Order within each replay is preserved; replays are concatenated in
+// argument order. Sequence numbers are per-shard coordinates and carry no
+// meaning in the union.
+func MergeReplays(reps ...*Replay) (*Replay, error) {
+	merged := &Replay{records: map[string]Record{}}
+	for ri, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		for _, id := range rep.order {
+			if _, dup := merged.records[id]; dup {
+				return nil, fmt.Errorf("checkpoint: trial %s journaled by more than one shard (overlapping seed ranges, duplicate found in replay %d)", id, ri)
+			}
+			merged.records[id] = rep.records[id]
+			merged.order = append(merged.order, id)
+		}
+	}
+	return merged, nil
+}

@@ -8,6 +8,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,6 +23,21 @@ import (
 // human-greppable in the journal.
 func TrialID(seed uint64, point string, trial int) string {
 	return fmt.Sprintf("s%x|%s|t%d", seed, point, trial)
+}
+
+// TrialIndex recovers the trial index from an ID built by TrialID. The
+// shard layer partitions and audits journals by this index, so the parse is
+// strict: a malformed ID is an error, never a silent index 0.
+func TrialIndex(id string) (int, error) {
+	cut := strings.LastIndex(id, "|t")
+	if cut < 0 {
+		return 0, fmt.Errorf("checkpoint: trial ID %q has no |t<index> suffix", id)
+	}
+	idx, err := strconv.Atoi(id[cut+2:])
+	if err != nil || idx < 0 {
+		return 0, fmt.Errorf("checkpoint: trial ID %q has a malformed index", id)
+	}
+	return idx, nil
 }
 
 // Watchdog flags trials that exceed a per-trial wall-clock deadline and
@@ -54,6 +71,18 @@ func (e *ReplayedFailure) Error() string {
 	return fmt.Sprintf("checkpoint: replayed failure %s: %s", e.ID, e.Msg)
 }
 
+// MissingTrialError is returned by RunTrial under RequireReplay for a trial
+// no journal recorded — in a shard merge it means a seed-range gap (a shard
+// never ran, or its journal lost the trial to a torn tail).
+type MissingTrialError struct {
+	ID string
+}
+
+// Error implements error.
+func (e *MissingTrialError) Error() string {
+	return fmt.Sprintf("checkpoint: trial %s not journaled (seed-range gap: no shard recorded it)", e.ID)
+}
+
 // Sweep couples a journal and its replay with the per-trial retry and
 // watchdog policies. A nil Sweep is valid everywhere and means "run the
 // trial directly" — callers thread it unconditionally.
@@ -63,6 +92,12 @@ type Sweep struct {
 	// Replay, when non-nil, short-circuits trials journaled by a
 	// previous run.
 	Replay *Replay
+	// RequireReplay, when set, fails any trial absent from Replay with a
+	// *MissingTrialError instead of executing it. The shard-merge proof
+	// runs in this mode: every trial must come from a shard journal, so a
+	// seed-range gap surfaces as a hard error rather than a silent
+	// re-computation that would mask lost work.
+	RequireReplay bool
 	// Retry re-attempts transient trial errors before they are recorded.
 	Retry Retrier
 	// Watchdog bounds per-trial wall-clock time.
@@ -161,6 +196,9 @@ func RunTrial[T any](s *Sweep, ctx context.Context, id string, fn func(ctx conte
 			return zero, fmt.Errorf("checkpoint: decode replayed trial %s: %w", id, err)
 		}
 		return v, nil
+	}
+	if s.RequireReplay {
+		return zero, &MissingTrialError{ID: id}
 	}
 	s.noteExecuted()
 

@@ -3,6 +3,7 @@
 package cli
 
 import (
+	"net/http"
 	"os"
 
 	"cpsguard/internal/obs"
@@ -15,17 +16,26 @@ import (
 // logger is tolerated (events are dropped); a bind failure is fatal — the
 // operator asked for an endpoint the process cannot provide.
 func StartDebug(addr string, log *obs.Logger) func() {
+	_, stop := StartDebugWith(addr, log, nil)
+	return stop
+}
+
+// StartDebugWith is StartDebug plus extra handlers mounted on the same mux
+// (cpsexp's shard aggregation endpoints). It also returns the bound
+// address ("" when addr was empty) so a supervisor can hand children the
+// ingest URL even when the operator asked for ":0".
+func StartDebugWith(addr string, log *obs.Logger, register func(mux *http.ServeMux)) (bound string, stop func()) {
 	if addr == "" {
-		return func() {}
+		return "", func() {}
 	}
-	srv, bound, err := telemetry.Default().ServeDebug(addr)
+	srv, bound, err := telemetry.Default().ServeDebugWith(addr, register)
 	if err != nil {
 		log.Error("debug endpoint failed", obs.F("addr", addr), obs.F("err", err))
 		os.Exit(1)
 	}
 	log.Info("debug endpoint listening",
 		obs.F("url", "http://"+bound), obs.F("paths", "/metrics /debug/vars /debug/pprof"))
-	return func() { srv.Close() }
+	return bound, func() { srv.Close() }
 }
 
 // WriteMetrics dumps the default telemetry registry to path when path is

@@ -24,6 +24,7 @@ import (
 	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
+	"cpsguard/internal/shard"
 	"cpsguard/internal/solvecache"
 	"cpsguard/internal/stats"
 	"cpsguard/internal/westgrid"
@@ -62,6 +63,16 @@ type Config struct {
 	// Faults governs per-trial failure tolerance (default: strict — any
 	// trial failure fails the experiment). See FaultPolicy.
 	Faults FaultPolicy
+	// Shard, when non-nil, restricts execution to the slice of trials
+	// this shard owns (trial index mod Shard.Count == Shard.Index).
+	// Unowned trials are skipped entirely — not run, not journaled, not
+	// counted against the fault policy — so n shard processes given the
+	// same seed and grids partition the sweep exactly, and the union of
+	// their journals replays (internal/shard.Merge) to output
+	// byte-identical to an unsharded run. Tables produced by a sharded
+	// run aggregate only the owned trials and are not meaningful; the
+	// shard's product is its journal.
+	Shard *shard.Assignment
 	// Sweep, when non-nil, makes the sweep crash-safe: every trial
 	// outcome streams to the sweep's journal as it settles, trials
 	// journaled by a previous (interrupted) run are replayed instead of

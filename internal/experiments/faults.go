@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -109,24 +110,40 @@ func (l *FaultLog) FailureRate() float64 {
 // transient errors are retried with backoff, and overlong trials are
 // flagged/requeued by the watchdog. Trial values must round-trip through
 // JSON (exported fields) for replay to be exact.
+// errTrialNotAssigned marks a trial skipped under a shard assignment:
+// another shard owns it. It is internal bookkeeping, never surfaced —
+// skipped trials are excluded from results, fault accounting, and journals.
+var errTrialNotAssigned = errors.New("experiments: trial owned by another shard")
+
 func runTrials[T any](cfg Config, point string,
 	fn func(ctx context.Context, trial int) (T, error)) ([]T, error) {
 	n := cfg.trials()
 	pol := cfg.Faults
 	seed := cfg.seed()
+	owns := func(i int) bool { return cfg.Shard == nil || cfg.Shard.Owns(i) }
+	planned := 0
+	for i := 0; i < n; i++ {
+		if owns(i) {
+			planned++
+		}
+	}
 	mPoints.Inc()
-	mTrials.Add(int64(n))
-	mTrialsHist.Observe(int64(n))
+	mTrials.Add(int64(planned))
+	mTrialsHist.Observe(int64(planned))
 	par := cfg.Parallel
 	sp, pointCtx := telemetry.Default().StartSpanCtx(par.Context, "experiments.point", point)
 	if sp != nil {
-		sp.SetWork(int64(n))
+		sp.SetWork(int64(planned))
 		par.Context = pointCtx // trial spans nest under the point
 		defer sp.End()
 	}
 	log := cfg.Log.WithStage(point)
-	log.Debug("point started", obs.F("trials", n))
+	log.Debug("point started", obs.F("trials", planned))
 	wrapped := func(ctx context.Context, i int) (T, error) {
+		if !owns(i) {
+			var zero T
+			return zero, errTrialNotAssigned
+		}
 		id := checkpoint.TrialID(seed, point, i)
 		tsp, ctx := telemetry.Default().StartSpanCtx(ctx, "experiments.trial", id)
 		defer tsp.End()
@@ -144,6 +161,9 @@ func runTrials[T any](cfg Config, point string,
 	// batched after the whole point), chaining any caller-provided hook.
 	chained := par.OnSettle
 	par.OnSettle = func(i int, err error) {
+		if errors.Is(err, errTrialNotAssigned) {
+			return // another shard's trial: no accounting at all
+		}
 		if err != nil {
 			mTrialFailures.Inc()
 			log.WithTrial(checkpoint.TrialID(seed, point, i)).Warn("trial failed",
@@ -163,6 +183,9 @@ func runTrials[T any](cfg Config, point string,
 	failed := 0
 	var firstErr error
 	for i, err := range errs {
+		if errors.Is(err, errTrialNotAssigned) {
+			continue
+		}
 		if err != nil {
 			failed++
 			if firstErr == nil {
@@ -173,20 +196,31 @@ func runTrials[T any](cfg Config, point string,
 		ok = append(ok, results[i])
 	}
 	if failed == 0 {
-		log.Debug("point finished", obs.F("trials", n))
+		log.Debug("point finished", obs.F("trials", planned))
 		return ok, nil
 	}
-	sp.AddDegradations(fmt.Sprintf("%d/%d trials failed", failed, n))
-	rate := float64(failed) / float64(n)
+	sp.AddDegradations(fmt.Sprintf("%d/%d trials failed", failed, planned))
+	rate := float64(failed) / float64(planned)
+	if cfg.Shard != nil {
+		// A shard sees only its slice of each point, so the per-point
+		// failure-rate policy cannot be judged here: one owned trial failing
+		// would read as a 100% point failure even when the fleet-wide rate is
+		// tiny. The failures are journaled; the merge, which replays every
+		// shard's trials, enforces the policy over the whole point.
+		mTolerated.Add(int64(failed))
+		log.Warn("shard deferring fault policy to merge", obs.F("failed", failed),
+			obs.F("trials", planned), obs.F("rate", rate))
+		return ok, nil
+	}
 	if rate > pol.MaxFailureRate || len(ok) == 0 {
 		mPointFailures.Inc()
-		log.Error("point failed", obs.F("failed", failed), obs.F("trials", n),
+		log.Error("point failed", obs.F("failed", failed), obs.F("trials", planned),
 			obs.F("rate", rate), obs.F("tolerated", pol.MaxFailureRate))
 		return nil, fmt.Errorf("experiments: %s: %d/%d trials failed (rate %.2f > tolerated %.2f), first: %w",
-			point, failed, n, rate, pol.MaxFailureRate, firstErr)
+			point, failed, planned, rate, pol.MaxFailureRate, firstErr)
 	}
 	mTolerated.Add(int64(failed))
-	log.Warn("tolerated trial failures", obs.F("failed", failed), obs.F("trials", n),
+	log.Warn("tolerated trial failures", obs.F("failed", failed), obs.F("trials", planned),
 		obs.F("rate", rate))
 	return ok, nil
 }

@@ -1,0 +1,164 @@
+// Fleet-wide telemetry aggregation. Each shard's counters live in its own
+// process; the Aggregator gives the operator one place to watch the whole
+// sweep: shards POST their telemetry snapshots (periodically and at exit)
+// to /shards/ingest on the supervisor's debug mux, and /shards/rollup
+// serves the latest per-shard snapshots plus their fleet-wide counter sums.
+//
+// Ingest is last-write-wins per shard ID — counters are cumulative within a
+// shard process, so the newest snapshot supersedes older ones, and a
+// restarted shard simply starts a new cumulative series (its journal
+// replays keep the logical work honest).
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cpsguard/internal/telemetry"
+)
+
+// ingestMaxBytes bounds one snapshot POST (4 MiB — a full snapshot with
+// spans is well under 1 MiB; anything bigger is abuse, not telemetry).
+const ingestMaxBytes = 4 << 20
+
+// IngestPayload is the body of a POST /shards/ingest.
+type IngestPayload struct {
+	// Shard identifies the sender ("2/8").
+	Shard string `json:"shard"`
+	// Snapshot is the sender's telemetry snapshot.
+	Snapshot *telemetry.Snapshot `json:"snapshot"`
+}
+
+// Rollup is the GET /shards/rollup response.
+type Rollup struct {
+	// Shards maps shard ID to its latest ingested counters.
+	Shards map[string]map[string]int64 `json:"shards"`
+	// Fleet sums every counter across shards.
+	Fleet map[string]int64 `json:"fleet"`
+	// Count is the number of shards heard from.
+	Count int `json:"count"`
+}
+
+// Aggregator collects per-shard telemetry snapshots. Safe for concurrent
+// use; the zero value is not usable — use NewAggregator.
+type Aggregator struct {
+	mu    sync.Mutex
+	snaps map[string]*telemetry.Snapshot
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{snaps: map[string]*telemetry.Snapshot{}}
+}
+
+// Ingest records (or replaces) one shard's snapshot.
+func (a *Aggregator) Ingest(shardID string, snap *telemetry.Snapshot) {
+	if snap == nil {
+		return
+	}
+	mIngests.Inc()
+	a.mu.Lock()
+	a.snaps[shardID] = snap
+	a.mu.Unlock()
+}
+
+// Rollup sums the latest counters across every ingested shard.
+func (a *Aggregator) Rollup() Rollup {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := Rollup{
+		Shards: make(map[string]map[string]int64, len(a.snaps)),
+		Fleet:  map[string]int64{},
+		Count:  len(a.snaps),
+	}
+	for id, snap := range a.snaps {
+		r.Shards[id] = snap.Counters
+		for name, v := range snap.Counters {
+			r.Fleet[name] += v
+		}
+	}
+	return r
+}
+
+// ServeHTTP routes the /shards/ endpoints:
+//
+//	POST /shards/ingest  body: IngestPayload JSON
+//	GET  /shards/rollup  response: Rollup JSON (sorted, indented)
+func (a *Aggregator) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	switch {
+	case strings.HasSuffix(req.URL.Path, "/ingest"):
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(req.Body, ingestMaxBytes))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var p IngestPayload
+		if err := json.Unmarshal(body, &p); err != nil {
+			http.Error(w, fmt.Sprintf("bad ingest payload: %v", err), http.StatusBadRequest)
+			return
+		}
+		if p.Shard == "" || p.Snapshot == nil {
+			http.Error(w, "ingest payload needs shard and snapshot", http.StatusBadRequest)
+			return
+		}
+		a.Ingest(p.Shard, p.Snapshot)
+		w.WriteHeader(http.StatusNoContent)
+	case strings.HasSuffix(req.URL.Path, "/rollup"):
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		data, err := json.MarshalIndent(a.Rollup(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	default:
+		http.Error(w, "unknown shard endpoint (want /shards/ingest or /shards/rollup)", http.StatusNotFound)
+	}
+}
+
+// CounterNames returns the sorted union of counter names in a rollup, for
+// deterministic rendering.
+func (r Rollup) CounterNames() []string {
+	names := make([]string, 0, len(r.Fleet))
+	for n := range r.Fleet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PostSnapshot POSTs one shard's snapshot to a supervisor's ingest URL
+// (".../shards/ingest"). Best-effort by design: the caller decides whether
+// a dead aggregator is fatal (it never should be — telemetry must not take
+// down the work it observes).
+func PostSnapshot(url, shardID string, snap *telemetry.Snapshot) error {
+	body, err := json.Marshal(IngestPayload{Shard: shardID, Snapshot: snap})
+	if err != nil {
+		return fmt.Errorf("shard: encode snapshot: %w", err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return fmt.Errorf("shard: post snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("shard: post snapshot: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cpsguard/internal/telemetry"
+)
+
+func snapWith(counters map[string]int64) *telemetry.Snapshot {
+	return &telemetry.Snapshot{Counters: counters}
+}
+
+func TestAggregatorRollupSumsCounters(t *testing.T) {
+	agg := NewAggregator()
+	agg.Ingest("0/2", snapWith(map[string]int64{"lp.solves": 10, "trials": 4}))
+	agg.Ingest("1/2", snapWith(map[string]int64{"lp.solves": 7, "trials": 4, "extra": 1}))
+	// Last write wins per shard: a newer snapshot supersedes.
+	agg.Ingest("0/2", snapWith(map[string]int64{"lp.solves": 12, "trials": 5}))
+
+	r := agg.Rollup()
+	if r.Count != 2 {
+		t.Fatalf("count = %d", r.Count)
+	}
+	if r.Fleet["lp.solves"] != 19 || r.Fleet["trials"] != 9 || r.Fleet["extra"] != 1 {
+		t.Fatalf("fleet = %v", r.Fleet)
+	}
+	names := r.CounterNames()
+	if len(names) != 3 || names[0] != "extra" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestAggregatorHTTPRoundTrip(t *testing.T) {
+	agg := NewAggregator()
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+
+	if err := PostSnapshot(srv.URL+"/shards/ingest", "1/2",
+		snapWith(map[string]int64{"trials": 8})); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/shards/rollup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var r Rollup
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != 1 || r.Fleet["trials"] != 8 || r.Shards["1/2"]["trials"] != 8 {
+		t.Fatalf("rollup = %+v", r)
+	}
+}
+
+func TestAggregatorHTTPRejectsBadRequests(t *testing.T) {
+	srv := httptest.NewServer(NewAggregator())
+	defer srv.Close()
+
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"GET", "/shards/ingest", "", http.StatusMethodNotAllowed},
+		{"POST", "/shards/rollup", "", http.StatusMethodNotAllowed},
+		{"POST", "/shards/ingest", "not json", http.StatusBadRequest},
+		{"POST", "/shards/ingest", `{"shard":"","snapshot":null}`, http.StatusBadRequest},
+		{"GET", "/shards/nothing", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, srv.URL+c.path, strings.NewReader(c.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestPostSnapshotErrorsOnDeadAggregator(t *testing.T) {
+	srv := httptest.NewServer(NewAggregator())
+	srv.Close() // dead on arrival
+	if err := PostSnapshot(srv.URL+"/shards/ingest", "0/1",
+		snapWith(map[string]int64{"x": 1})); err == nil {
+		t.Fatal("post to a dead aggregator succeeded")
+	}
+}

@@ -1,0 +1,239 @@
+// Merge: the lossless recombination of shard journals. The validation here
+// is deliberately paranoid — every failure mode a fleet produces (torn
+// tails, half-finished shards, mis-partitioned or duplicated trials, shards
+// from a different sweep) must be rejected or repaired *before* the replay
+// run, because after it the merged CSV looks exactly like a healthy
+// single-process run.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cpsguard/internal/checkpoint"
+	"cpsguard/internal/manifest"
+	"cpsguard/internal/obs"
+)
+
+// MergeOptions configures Merge.
+type MergeOptions struct {
+	// ExpectKey, when non-empty, is the sweep key the merging process
+	// computed from its own flags; shards whose key differs were produced
+	// by a different sweep configuration and are rejected.
+	ExpectKey string
+	// Log, when non-nil, receives one info event per shard and warn
+	// events for repaired torn tails.
+	Log *obs.Logger
+}
+
+// ShardInfo is one shard's contribution to a merge, as recorded in the
+// merged manifest.
+type ShardInfo struct {
+	// Dir is the shard directory.
+	Dir string
+	// Assignment is the shard's slice of the partition.
+	Assignment Assignment
+	// Records is the number of valid journal records merged.
+	Records int
+	// TruncatedBytes is the torn tail dropped during the merge read
+	// (0 for a cleanly closed journal).
+	TruncatedBytes int
+	// JournalSHA256 digests the journal as merged.
+	JournalSHA256 string
+	// Manifest is the shard's own manifest (fault history included).
+	Manifest *Manifest
+}
+
+// MergeResult is a validated union of shard journals.
+type MergeResult struct {
+	// Replay is the merged replay, ready for a strict-replay sweep.
+	Replay *checkpoint.Replay
+	// Shards describes each contributing shard, in index order.
+	Shards []ShardInfo
+	// Count is the partition width n.
+	Count int
+	// Trials is the total number of merged trial records.
+	Trials int
+}
+
+// DiscoverShards lists the shard directories under parent (the layout
+// written by the shard runner), sorted by shard index. It is an error to
+// find none — merging an empty directory must not silently produce an
+// empty sweep.
+func DiscoverShards(parent string) ([]string, error) {
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, ok := ParseDirName(e.Name()); ok {
+			dirs = append(dirs, filepath.Join(parent, e.Name()))
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("shard: no shard-NNN-of-NNN directories under %s", parent)
+	}
+	sort.Strings(dirs) // fixed-width names: lexical order == shard order
+	return dirs, nil
+}
+
+// Merge reads, audits, and unions the shard directories:
+//
+//   - each directory must hold a shard.json and a journal; the journal's
+//     CRC and sequence continuity are validated record by record, and a
+//     torn tail (partial final line) is repaired by dropping it;
+//   - a journal holding fewer valid records than its manifest recorded has
+//     lost data (a tear destroyed whole records) and is rejected with a
+//     pointer to the shard that must be resumed;
+//   - an incomplete shard (crashed before finishing its sweep) is rejected
+//     the same way;
+//   - every record is audited against the partition: a trial owned by a
+//     different shard means overlapping seed ranges and rejects the merge,
+//     as does the same trial appearing in two journals;
+//   - all shards must agree on (count, seed, sweep key), and the shard
+//     indices must cover 0..n-1 exactly once — a missing index is a
+//     missing seed range.
+//
+// The caller proves losslessness by running the sweep over Result.Replay
+// in strict replay mode (checkpoint.Sweep.RequireReplay): any trial the
+// union does not cover fails loudly instead of being recomputed.
+func Merge(dirs []string, opts MergeOptions) (*MergeResult, error) {
+	if len(dirs) == 0 {
+		return nil, errors.New("shard: nothing to merge")
+	}
+	// Every validation failure below is a rejected merge; count them all.
+	reject := func(format string, args ...any) error {
+		mMergeRejects.Inc()
+		return fmt.Errorf(format, args...)
+	}
+	res := &MergeResult{}
+	reps := make([]*checkpoint.Replay, 0, len(dirs))
+	seen := map[int]string{} // shard index -> dir
+	var count int
+	var seed uint64
+	var key string
+
+	for i, dir := range dirs {
+		man, err := LoadManifest(dir)
+		if errors.Is(err, os.ErrNotExist) {
+			// A crash before the first manifest write leaves only a journal.
+			a, _ := ParseDirName(filepath.Base(dir))
+			return nil, reject("shard: %s has no %s — the shard crashed before finishing; resume it with -shard %s",
+				dir, ManifestName, a.Spec())
+		}
+		if err != nil {
+			return nil, reject("shard: %s: %w", dir, err)
+		}
+		a := man.Assignment()
+		if err := a.Validate(); err != nil {
+			return nil, reject("shard: %s: %w", dir, err)
+		}
+		if i == 0 {
+			count, seed, key = man.Count, man.Seed, man.SweepKey
+		}
+		if man.Count != count {
+			return nil, reject("shard: %s is shard %s but %s declared a %d-way partition", dir, a.Spec(), dirs[0], count)
+		}
+		if man.Seed != seed || man.SweepKey != key {
+			return nil, reject("shard: %s was produced by a different sweep (seed %d key %.12s, want seed %d key %.12s)",
+				dir, man.Seed, man.SweepKey, seed, key)
+		}
+		if opts.ExpectKey != "" && man.SweepKey != opts.ExpectKey {
+			return nil, reject("shard: %s sweep key %.12s does not match this invocation's configuration %.12s — rerun the merge with the flags the shards used",
+				dir, man.SweepKey, opts.ExpectKey)
+		}
+		if prev, dup := seen[a.Index]; dup {
+			return nil, reject("shard: index %d appears in both %s and %s", a.Index, prev, dir)
+		}
+		seen[a.Index] = dir
+		if !man.Completed {
+			return nil, reject("shard: %s is incomplete (crashed before finishing); resume it with -shard %s", dir, a.Spec())
+		}
+
+		jpath := filepath.Join(dir, JournalName)
+		rep, err := checkpoint.Load(jpath)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %s: %w", dir, err)
+		}
+		if rep.TruncatedBytes > 0 {
+			mMergeTornTails.Inc()
+			opts.Log.Warn("repaired torn shard journal tail",
+				obs.F("shard", a.Spec()), obs.F("bytes", rep.TruncatedBytes))
+		}
+		if rep.Len() < man.JournalRecords {
+			return nil, reject("shard: %s journal holds %d valid records but its manifest recorded %d — a tear destroyed records; resume the shard with -shard %s",
+				dir, rep.Len(), man.JournalRecords, a.Spec())
+		}
+		wantPrefix := fmt.Sprintf("s%x|", seed)
+		for _, id := range rep.IDs() {
+			if !strings.HasPrefix(id, wantPrefix) {
+				return nil, reject("shard: %s record %s carries a foreign seed (want prefix %s)", dir, id, wantPrefix)
+			}
+			idx, err := checkpoint.TrialIndex(id)
+			if err != nil {
+				return nil, fmt.Errorf("shard: %s: %w", dir, err)
+			}
+			if !a.Owns(idx) {
+				return nil, reject("shard: %s journaled trial %s, which the partition assigns to shard %d/%d — overlapping seed ranges",
+					dir, id, idx%a.Count, a.Count)
+			}
+		}
+		reps = append(reps, rep)
+		res.Shards = append(res.Shards, ShardInfo{
+			Dir: dir, Assignment: a, Records: rep.Len(),
+			TruncatedBytes: rep.TruncatedBytes,
+			JournalSHA256:  manifest.HashFile(jpath).SHA256,
+			Manifest:       man,
+		})
+		opts.Log.Info("shard validated", obs.F("shard", a.Spec()),
+			obs.F("records", rep.Len()), obs.F("faults", len(man.Faults)))
+	}
+
+	for i := 0; i < count; i++ {
+		if _, ok := seen[i]; !ok {
+			return nil, reject("shard: missing shard %d/%d — its seed range was never run", i, count)
+		}
+	}
+	sort.Slice(res.Shards, func(i, j int) bool {
+		return res.Shards[i].Assignment.Index < res.Shards[j].Assignment.Index
+	})
+	merged, err := checkpoint.MergeReplays(reps...)
+	if err != nil {
+		mMergeRejects.Inc()
+		return nil, err
+	}
+	res.Replay = merged
+	res.Count = count
+	res.Trials = merged.Len()
+	mMerges.Inc()
+	mMergedRecords.Add(int64(res.Trials))
+	return res, nil
+}
+
+// Stamp records the merge's provenance on a run manifest: every shard's
+// journal and manifest as digested inputs, plus one note per shard and per
+// fault — the "merged manifest.json" that lets an auditor reconstruct which
+// shard contributed what and what went wrong on the way.
+func (r *MergeResult) Stamp(m *manifest.Manifest) {
+	m.Note("merged %d trials from %d shards", r.Trials, r.Count)
+	for _, s := range r.Shards {
+		m.AddInput(filepath.Join(s.Dir, JournalName))
+		m.AddInput(filepath.Join(s.Dir, ManifestName))
+		m.Note("shard %s: %d records (executed %d, replayed %d), journal sha256:%.12s",
+			s.Assignment.Spec(), s.Records, s.Manifest.Executed, s.Manifest.Replayed, s.JournalSHA256)
+		if s.TruncatedBytes > 0 {
+			m.Note("shard %s: torn tail repaired in merge (%d bytes dropped)", s.Assignment.Spec(), s.TruncatedBytes)
+		}
+		for _, f := range s.Manifest.Faults {
+			m.Note("shard %s fault [%s]: %s", s.Assignment.Spec(), f.Kind, f.Detail)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cpsguard/internal/checkpoint"
+)
+
+// writeShard builds one shard directory under parent: a journal holding the
+// given trial indices (value 10*i) and a completed manifest. mutate, when
+// non-nil, edits the manifest before it is written — the fault-injection
+// hook for the rejection tests.
+func writeShard(t *testing.T, parent string, a Assignment, seed uint64, key string,
+	trials []int, mutate func(*Manifest)) string {
+	t.Helper()
+	dir := filepath.Join(parent, a.DirName())
+	j, err := checkpoint.Create(filepath.Join(dir, JournalName), checkpoint.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range trials {
+		if err := j.Append(checkpoint.TrialID(seed, "p", i), true, 10*i, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest(a, seed, key)
+	m.JournalRecords = len(trials)
+	m.Executed = len(trials)
+	m.Completed = true
+	m.StampJournal(dir)
+	if mutate != nil {
+		mutate(m)
+	}
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestMergeTwoShards(t *testing.T) {
+	parent := t.TempDir()
+	d0 := writeShard(t, parent, Assignment{0, 2}, 7, "k", []int{0, 2}, nil)
+	d1 := writeShard(t, parent, Assignment{1, 2}, 7, "k", []int{1, 3}, nil)
+
+	dirs, err := DiscoverShards(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 || dirs[0] != d0 || dirs[1] != d1 {
+		t.Fatalf("DiscoverShards = %v", dirs)
+	}
+	res, err := Merge(dirs, MergeOptions{ExpectKey: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 4 || res.Count != 2 || len(res.Shards) != 2 {
+		t.Fatalf("merge result: %+v", res)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := res.Replay.Lookup(checkpoint.TrialID(7, "p", i)); !ok {
+			t.Fatalf("merged replay missing trial %d", i)
+		}
+	}
+}
+
+func TestDiscoverShardsEmpty(t *testing.T) {
+	if _, err := DiscoverShards(t.TempDir()); err == nil {
+		t.Fatal("empty parent accepted")
+	}
+}
+
+// TestMergeRepairsTornTail: a crash mid-append leaves a partial final line;
+// the merge must drop it and carry on — provided the manifest did not claim
+// the destroyed record.
+func TestMergeRepairsTornTail(t *testing.T) {
+	parent := t.TempDir()
+	d0 := writeShard(t, parent, Assignment{0, 2}, 7, "k", []int{0, 2}, nil)
+	writeShard(t, parent, Assignment{1, 2}, 7, "k", []int{1, 3}, nil)
+
+	jpath := filepath.Join(d0, JournalName)
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, append(data, []byte(`{"seq":99,"torn`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Merge([]string{d0, filepath.Join(parent, "shard-001-of-002")}, MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 4 {
+		t.Fatalf("trials = %d, want 4", res.Trials)
+	}
+	if res.Shards[0].TruncatedBytes == 0 {
+		t.Fatal("torn tail not recorded in shard info")
+	}
+}
+
+// TestMergeRejectsDestroyedRecords: when a tear eats a whole journaled
+// record (journal now shorter than the manifest recorded), the merge must
+// refuse — silently losing a trial would still render a plausible CSV.
+func TestMergeRejectsDestroyedRecords(t *testing.T) {
+	parent := t.TempDir()
+	d0 := writeShard(t, parent, Assignment{0, 2}, 7, "k", []int{0, 2}, nil)
+	d1 := writeShard(t, parent, Assignment{1, 2}, 7, "k", []int{1, 3}, nil)
+
+	jpath := filepath.Join(d0, JournalName)
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := strings.Index(string(data), "\n") + 1 // keep only the first record
+	if err := os.WriteFile(jpath, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Merge([]string{d0, d1}, MergeOptions{})
+	if err == nil || !strings.Contains(err.Error(), "tear destroyed records") {
+		t.Fatalf("err = %v, want destroyed-records rejection", err)
+	}
+}
+
+// TestMergeRejectsOverlap: a journal holding a trial the partition assigns
+// to a different shard means two shards ran overlapping seed ranges.
+func TestMergeRejectsOverlap(t *testing.T) {
+	parent := t.TempDir()
+	d0 := writeShard(t, parent, Assignment{0, 2}, 7, "k", []int{0, 1, 2}, nil) // trial 1 belongs to shard 1
+	d1 := writeShard(t, parent, Assignment{1, 2}, 7, "k", []int{1, 3}, nil)
+	_, err := Merge([]string{d0, d1}, MergeOptions{})
+	if err == nil || !strings.Contains(err.Error(), "overlapping seed ranges") {
+		t.Fatalf("err = %v, want overlap rejection", err)
+	}
+}
+
+func TestMergeRejectsMissingShard(t *testing.T) {
+	parent := t.TempDir()
+	d0 := writeShard(t, parent, Assignment{0, 2}, 7, "k", []int{0, 2}, nil)
+	_, err := Merge([]string{d0}, MergeOptions{})
+	if err == nil || !strings.Contains(err.Error(), "never run") {
+		t.Fatalf("err = %v, want missing-range rejection", err)
+	}
+}
+
+func TestMergeRejectsIncompleteShard(t *testing.T) {
+	parent := t.TempDir()
+	d0 := writeShard(t, parent, Assignment{0, 2}, 7, "k", []int{0, 2},
+		func(m *Manifest) { m.Completed = false })
+	d1 := writeShard(t, parent, Assignment{1, 2}, 7, "k", []int{1, 3}, nil)
+	_, err := Merge([]string{d0, d1}, MergeOptions{})
+	if err == nil || !strings.Contains(err.Error(), "-shard 0/2") {
+		t.Fatalf("err = %v, want incomplete rejection pointing at the resume command", err)
+	}
+}
+
+func TestMergeRejectsMissingManifest(t *testing.T) {
+	parent := t.TempDir()
+	d0 := writeShard(t, parent, Assignment{0, 2}, 7, "k", []int{0, 2}, nil)
+	d1 := writeShard(t, parent, Assignment{1, 2}, 7, "k", []int{1, 3}, nil)
+	if err := os.Remove(filepath.Join(d0, ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Merge([]string{d0, d1}, MergeOptions{})
+	if err == nil || !strings.Contains(err.Error(), "crashed before finishing") {
+		t.Fatalf("err = %v, want missing-manifest rejection", err)
+	}
+}
+
+func TestMergeRejectsForeignSweep(t *testing.T) {
+	parent := t.TempDir()
+	d0 := writeShard(t, parent, Assignment{0, 2}, 7, "k", []int{0, 2}, nil)
+	d1 := writeShard(t, parent, Assignment{1, 2}, 7, "OTHER", []int{1, 3}, nil)
+	if _, err := Merge([]string{d0, d1}, MergeOptions{}); err == nil {
+		t.Fatal("shards from different sweeps merged")
+	}
+	// And against the merging invocation's own configuration:
+	d1b := writeShard(t, t.TempDir(), Assignment{1, 2}, 7, "k", []int{1, 3}, nil)
+	_, err := Merge([]string{d0, d1b}, MergeOptions{ExpectKey: "not-k"})
+	if err == nil || !strings.Contains(err.Error(), "does not match this invocation") {
+		t.Fatalf("err = %v, want expect-key rejection", err)
+	}
+}
+
+func TestMergeRejectsDuplicateIndex(t *testing.T) {
+	p1, p2 := t.TempDir(), t.TempDir()
+	d0 := writeShard(t, p1, Assignment{0, 2}, 7, "k", []int{0, 2}, nil)
+	d0b := writeShard(t, p2, Assignment{0, 2}, 7, "k", []int{0, 2}, nil)
+	_, err := Merge([]string{d0, d0b}, MergeOptions{})
+	if err == nil || !strings.Contains(err.Error(), "appears in both") {
+		t.Fatalf("err = %v, want duplicate-index rejection", err)
+	}
+}
+
+func TestMergeReplaysRejectDuplicateTrial(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	j, err := checkpoint.Create(path, checkpoint.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(checkpoint.TrialID(7, "p", 0), true, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	rep, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkpoint.MergeReplays(rep, rep); err == nil {
+		t.Fatal("duplicate trial across replays accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Package shard scales a one-process Monte-Carlo sweep out to a fleet. A
+// sweep's trials are partitioned deterministically by trial index into n
+// independent shards; each shard runs the same seeded sweep but executes
+// (and journals) only the trials it owns, writing a crash-safe
+// internal/checkpoint journal plus a shard manifest (shard.json) and a
+// telemetry snapshot into its own directory:
+//
+//	<dir>/shard-003-of-008/journal.jsonl   per-trial outcomes (CRC + seq)
+//	<dir>/shard-003-of-008/shard.json      assignment, digests, fault history
+//	<dir>/shard-003-of-008/metrics.json    deterministic telemetry snapshot
+//
+// Because trial randomness derives only from (seed, point, trial) — never
+// from which process ran it — the union of the shard journals replays to
+// output byte-identical to a single-process run. Merge proves it: it
+// repairs torn journal tails, validates CRC and sequence continuity per
+// shard, rejects overlapping or missing seed ranges, and hands back a
+// replay that the experiment runners consume in strict replay mode, so a
+// lost trial is a hard error, never a silent re-computation.
+//
+// The Supervisor runs shards as restartable children (real processes in
+// cpsexp, injected workers in tests) under a progress watchdog with
+// capped-backoff restarts — a crashed or stalled shard resumes from its own
+// journal — and the Aggregator serves fleet-wide counter rollups on the
+// debug mux.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cpsguard/internal/atomicio"
+	"cpsguard/internal/manifest"
+)
+
+// Schema identifies the shard.json format for forward compatibility.
+const Schema = "cpsguard-shard/v1"
+
+// ManifestName is the shard manifest file name inside a shard directory.
+const ManifestName = "shard.json"
+
+// JournalName is the trial journal file name inside a shard directory.
+const JournalName = "journal.jsonl"
+
+// MetricsName is the telemetry snapshot file name inside a shard directory.
+const MetricsName = "metrics.json"
+
+// Assignment names one shard of an n-way partition: shard Index owns every
+// trial whose index i satisfies i mod Count == Index. The partition is a
+// pure function of the trial coordinates — no coordination, no state — so
+// any two processes given the same spec agree on ownership, and the merge
+// can audit each journal record against the assignment its shard claimed.
+type Assignment struct {
+	// Index is the 0-based shard number.
+	Index int
+	// Count is the total number of shards.
+	Count int
+}
+
+// ParseSpec parses an "i/n" shard spec (0-based index, e.g. "0/4" … "3/4").
+func ParseSpec(s string) (Assignment, error) {
+	var a Assignment
+	if _, err := fmt.Sscanf(s, "%d/%d", &a.Index, &a.Count); err != nil {
+		return a, fmt.Errorf("shard: spec %q is not i/n (e.g. 0/4)", s)
+	}
+	if err := a.Validate(); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// Validate checks 0 <= Index < Count.
+func (a Assignment) Validate() error {
+	if a.Count < 1 {
+		return fmt.Errorf("shard: count %d < 1", a.Count)
+	}
+	if a.Index < 0 || a.Index >= a.Count {
+		return fmt.Errorf("shard: index %d outside [0,%d)", a.Index, a.Count)
+	}
+	return nil
+}
+
+// Owns reports whether this shard owns the trial with the given index.
+func (a Assignment) Owns(trial int) bool {
+	return a.Count > 0 && trial%a.Count == a.Index
+}
+
+// Spec renders the assignment back as "i/n".
+func (a Assignment) Spec() string { return fmt.Sprintf("%d/%d", a.Index, a.Count) }
+
+// DirName is the canonical shard directory name ("shard-003-of-008"). The
+// fixed-width rendering keeps lexical order equal to shard order.
+func (a Assignment) DirName() string {
+	return fmt.Sprintf("shard-%03d-of-%03d", a.Index, a.Count)
+}
+
+// ParseDirName inverts DirName; ok is false for non-shard names.
+func ParseDirName(name string) (Assignment, bool) {
+	var a Assignment
+	if _, err := fmt.Sscanf(name, "shard-%d-of-%d", &a.Index, &a.Count); err != nil {
+		return a, false
+	}
+	return a, a.Validate() == nil
+}
+
+// A Fault is one entry in a shard's persisted fault history: restarts,
+// torn-tail repairs, abandoned trials — anything the merge proof should
+// surface months later from the directory alone.
+type Fault struct {
+	// Time stamps the fault in UTC (zero when the recorder had no clock).
+	Time time.Time `json:"time,omitzero"`
+	// Kind classifies the fault ("resumed", "torn_tail", "crashed",
+	// "stalled", "abandoned_trials").
+	Kind string `json:"kind"`
+	// Detail is the human-readable story.
+	Detail string `json:"detail"`
+}
+
+// Manifest is the shard.json record: which slice of the sweep this
+// directory holds, under what configuration it was produced, and what went
+// wrong along the way. Merge refuses shards whose SweepKey, Seed, or Count
+// disagree — mixing shards of different sweeps must be impossible.
+type Manifest struct {
+	Schema string `json:"schema"`
+	// Index and Count are the assignment.
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Seed is the sweep's top-level seed (baked into every trial ID).
+	Seed uint64 `json:"seed"`
+	// SweepKey is the checksum of the result-affecting sweep configuration
+	// (figure set, trials, seed, noise mode, …). Equal keys mean the
+	// shards ran the same sweep and their journals may be merged.
+	SweepKey string `json:"sweep_key"`
+	// JournalSHA256 and JournalRecords digest the journal at the moment
+	// the manifest was written, so the merge can tell a cleanly finished
+	// shard from one that kept (or lost) records afterwards.
+	JournalSHA256  string `json:"journal_sha256,omitempty"`
+	JournalRecords int    `json:"journal_records"`
+	// Executed and Replayed count this shard's trials across all its runs.
+	Executed int `json:"executed"`
+	Replayed int `json:"replayed"`
+	// Completed marks a shard whose sweep ran to the end. A false value
+	// means the shard needs another (resuming) run before a merge can
+	// succeed.
+	Completed bool `json:"completed"`
+	// Faults is the append-only fault history, oldest first, accumulated
+	// across restarts.
+	Faults []Fault `json:"faults,omitempty"`
+}
+
+// NewManifest starts a manifest for one shard of a sweep.
+func NewManifest(a Assignment, seed uint64, sweepKey string) *Manifest {
+	return &Manifest{
+		Schema: Schema, Index: a.Index, Count: a.Count,
+		Seed: seed, SweepKey: sweepKey,
+	}
+}
+
+// Assignment returns the manifest's shard coordinates.
+func (m *Manifest) Assignment() Assignment {
+	return Assignment{Index: m.Index, Count: m.Count}
+}
+
+// AddFault appends one fault to the history.
+func (m *Manifest) AddFault(kind, format string, args ...any) {
+	m.Faults = append(m.Faults, Fault{
+		Time: time.Now().UTC(), Kind: kind, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// StampJournal digests the shard's journal into the manifest.
+func (m *Manifest) StampJournal(dir string) {
+	d := manifest.HashFile(filepath.Join(dir, JournalName))
+	m.JournalSHA256 = d.SHA256
+}
+
+// Write persists the manifest to dir/shard.json atomically.
+func (m *Manifest) Write(dir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: encode manifest: %w", err)
+	}
+	return atomicio.MkdirAllAndWrite(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads dir/shard.json. A missing file returns os.ErrNotExist
+// (callers distinguish "fresh shard" from "corrupt shard"); a wrong schema
+// is an error — guessing at an unknown layout corrupts merges.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: decode %s: %w", filepath.Join(dir, ManifestName), err)
+	}
+	if m.Schema != Schema {
+		return nil, fmt.Errorf("shard: %s has schema %q, want %q", filepath.Join(dir, ManifestName), m.Schema, Schema)
+	}
+	return &m, nil
+}

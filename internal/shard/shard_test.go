@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Assignment
+		ok   bool
+	}{
+		{"0/1", Assignment{0, 1}, true},
+		{"0/4", Assignment{0, 4}, true},
+		{"3/4", Assignment{3, 4}, true},
+		{"4/4", Assignment{}, false}, // index out of range
+		{"-1/4", Assignment{}, false},
+		{"1/0", Assignment{}, false},
+		{"1", Assignment{}, false},
+		{"a/b", Assignment{}, false},
+		{"", Assignment{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSpec(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPartitionCoversEveryTrialExactlyOnce is the partition's core contract:
+// for any width n, every trial index is owned by exactly one shard.
+func TestPartitionCoversEveryTrialExactlyOnce(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		for trial := 0; trial < 50; trial++ {
+			owners := 0
+			for i := 0; i < n; i++ {
+				if (Assignment{Index: i, Count: n}).Owns(trial) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("n=%d trial=%d owned by %d shards", n, trial, owners)
+			}
+		}
+	}
+}
+
+func TestDirNameRoundTrip(t *testing.T) {
+	a := Assignment{Index: 3, Count: 8}
+	name := a.DirName()
+	if name != "shard-003-of-008" {
+		t.Fatalf("DirName = %q", name)
+	}
+	got, ok := ParseDirName(name)
+	if !ok || got != a {
+		t.Fatalf("ParseDirName(%q) = %+v, %v", name, got, ok)
+	}
+	for _, bad := range []string{"shard", "shard-x-of-y", "results", "shard-009-of-008"} {
+		if _, ok := ParseDirName(bad); ok {
+			t.Errorf("ParseDirName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManifest(Assignment{Index: 1, Count: 2}, 7, "abc123")
+	m.Executed = 4
+	m.Completed = true
+	m.AddFault("resumed", "replayed %d trials", 3)
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Assignment() != m.Assignment() || got.Seed != 7 || got.SweepKey != "abc123" ||
+		got.Executed != 4 || !got.Completed || len(got.Faults) != 1 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Faults[0].Kind != "resumed" || got.Faults[0].Detail != "replayed 3 trials" {
+		t.Fatalf("fault round trip: %+v", got.Faults[0])
+	}
+}
+
+func TestLoadManifestMissingIsErrNotExist(t *testing.T) {
+	_, err := LoadManifest(t.TempDir())
+	if !os.IsNotExist(err) {
+		t.Fatalf("err = %v, want not-exist", err)
+	}
+}
+
+func TestLoadManifestRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName),
+		[]byte(`{"schema":"something-else/v9","index":0,"count":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

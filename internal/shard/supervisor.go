@@ -1,0 +1,271 @@
+// Supervisor: runs the n shards of a partition as restartable children and
+// refuses to report success unless every one of them finished. The failure
+// model is the fleet's: a shard may crash (process exit, panic, OOM kill)
+// or stall (wedged solver, lost NFS mount), and either way its journal is
+// intact up to the last fsynced record — so the remedy is always the same,
+// restart it and let checkpoint.Resume replay the prefix.
+//
+// Liveness is judged by *progress*, not by heartbeat RPCs: the supervisor
+// polls a monotonic progress probe (in cpsexp, the shard's journal size —
+// every completed trial grows it) and declares a stall only when the probe
+// stops advancing for StallTimeout. A slow shard that is still finishing
+// trials is never killed.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cpsguard/internal/checkpoint"
+	"cpsguard/internal/obs"
+)
+
+// A Handle controls one running shard attempt.
+type Handle interface {
+	// Wait blocks until the shard attempt exits; nil means it finished
+	// its sweep successfully.
+	Wait() error
+	// Kill force-stops the attempt (used on stall). Wait must then
+	// return.
+	Kill()
+}
+
+// A Launcher starts one attempt of shard index. attempt counts from 0 and
+// lets launchers (and tests) distinguish fresh starts from restarts.
+type Launcher func(ctx context.Context, index, attempt int) (Handle, error)
+
+// Supervisor runs every shard of a partition to completion, restarting
+// crashed or stalled shards with capped backoff. The zero value is not
+// usable: Count and Launch are required.
+type Supervisor struct {
+	// Count is the partition width n.
+	Count int
+	// Launch starts one shard attempt.
+	Launch Launcher
+	// Progress, when non-nil, probes shard liveness: a monotonically
+	// non-decreasing value (journal bytes) that advances whenever the
+	// shard completes work. Required for stall detection.
+	Progress func(index int) int64
+	// StallTimeout kills an attempt whose progress probe has not advanced
+	// for this long (0 = no stall watchdog).
+	StallTimeout time.Duration
+	// PollInterval is the probe cadence (default StallTimeout/4, floor
+	// 50ms).
+	PollInterval time.Duration
+	// MaxRestarts caps restarts per shard (default 2); the next failure
+	// abandons the shard.
+	MaxRestarts int
+	// Backoff schedules the pause before each restart; its zero value
+	// means capped exponential backoff with the checkpoint defaults.
+	Backoff checkpoint.Retrier
+	// Log, when non-nil, receives the shard lifecycle as structured
+	// events: started, heartbeat (debug), retried, degraded, abandoned.
+	Log *obs.Logger
+
+	// sleep is injectable for tests (default: timer honoring ctx).
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// ShardReport is one shard's fate under supervision.
+type ShardReport struct {
+	// Index is the shard number.
+	Index int `json:"index"`
+	// Restarts counts how many times the shard was relaunched.
+	Restarts int `json:"restarts,omitempty"`
+	// Stalls counts watchdog kills among those restarts.
+	Stalls int `json:"stalls,omitempty"`
+	// Done marks a shard that finished its sweep.
+	Done bool `json:"done"`
+	// Err is the final error of an abandoned shard ("" when done).
+	Err string `json:"err,omitempty"`
+	// Faults narrates every crash/stall, oldest first.
+	Faults []string `json:"faults,omitempty"`
+}
+
+// Report is the supervision outcome for the whole partition.
+type Report struct {
+	// Shards is indexed by shard number.
+	Shards []ShardReport `json:"shards"`
+	// Abandoned counts shards that exhausted their restarts.
+	Abandoned int `json:"abandoned"`
+}
+
+func (s *Supervisor) maxRestarts() int {
+	if s.MaxRestarts > 0 {
+		return s.MaxRestarts
+	}
+	return 2
+}
+
+func (s *Supervisor) pollInterval() time.Duration {
+	if s.PollInterval > 0 {
+		return s.PollInterval
+	}
+	if s.StallTimeout > 0 {
+		if p := s.StallTimeout / 4; p >= 50*time.Millisecond {
+			return p
+		}
+	}
+	return 50 * time.Millisecond
+}
+
+func (s *Supervisor) doSleep(ctx context.Context, d time.Duration) error {
+	if s.sleep != nil {
+		return s.sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run supervises all shards concurrently until every shard is done or
+// abandoned, or ctx fires (children are killed via the per-attempt context,
+// and the context error is returned). A non-nil *Report is returned even on
+// error so the caller can tell survivors from casualties.
+func (s *Supervisor) Run(ctx context.Context) (*Report, error) {
+	if s.Count < 1 {
+		return nil, fmt.Errorf("shard: supervisor count %d < 1", s.Count)
+	}
+	if s.Launch == nil {
+		return nil, fmt.Errorf("shard: supervisor has no launcher")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep := &Report{Shards: make([]ShardReport, s.Count)}
+	var wg sync.WaitGroup
+	for i := 0; i < s.Count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep.Shards[i] = s.superviseOne(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+	for i := range rep.Shards {
+		if !rep.Shards[i].Done {
+			rep.Abandoned++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	if rep.Abandoned > 0 {
+		return rep, fmt.Errorf("shard: %d/%d shards abandoned after retries", rep.Abandoned, s.Count)
+	}
+	return rep, nil
+}
+
+// superviseOne runs one shard's restart loop to a terminal state.
+func (s *Supervisor) superviseOne(ctx context.Context, index int) ShardReport {
+	r := ShardReport{Index: index}
+	log := s.Log.WithStage(fmt.Sprintf("shard %d/%d", index, s.Count))
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			r.Err = ctx.Err().Error()
+			return r
+		}
+		mShardStarts.Inc()
+		log.Info("shard started", obs.F("attempt", attempt))
+		stalled, err := s.runAttempt(ctx, index, attempt, log)
+		if err == nil && !stalled {
+			log.Info("shard done", obs.F("attempt", attempt), obs.F("restarts", r.Restarts))
+			r.Done = true
+			return r
+		}
+		kind := "crashed"
+		if stalled {
+			kind = "stalled"
+			mShardStalls.Inc()
+			r.Stalls++
+		} else {
+			mShardCrashes.Inc()
+		}
+		fault := fmt.Sprintf("attempt %d %s: %v", attempt, kind, err)
+		r.Faults = append(r.Faults, fault)
+		log.Warn("shard degraded", obs.F("kind", kind), obs.F("attempt", attempt), obs.F("err", err))
+		if ctx.Err() != nil {
+			r.Err = ctx.Err().Error()
+			return r
+		}
+		if attempt >= s.maxRestarts() {
+			mShardAbandoned.Inc()
+			r.Err = fmt.Sprintf("abandoned after %d attempts, last %s: %v", attempt+1, kind, err)
+			log.Error("shard abandoned", obs.F("attempts", attempt+1), obs.F("err", err))
+			return r
+		}
+		backoff := s.Backoff.Backoff(fmt.Sprintf("shard-%d", index), attempt)
+		log.Warn("shard retried", obs.F("attempt", attempt+1), obs.F("backoff", backoff))
+		if s.doSleep(ctx, backoff) != nil {
+			r.Err = ctx.Err().Error()
+			return r
+		}
+		mShardRestarts.Inc()
+		r.Restarts++
+	}
+}
+
+// runAttempt launches one attempt and babysits it: when a progress probe
+// and StallTimeout are configured, the probe is polled and the attempt
+// killed once it stops advancing for StallTimeout. Returns whether the
+// watchdog fired and the attempt error.
+func (s *Supervisor) runAttempt(ctx context.Context, index, attempt int, log *obs.Logger) (stalled bool, err error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	h, err := s.Launch(actx, index, attempt)
+	if err != nil {
+		return false, fmt.Errorf("launch: %w", err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- h.Wait() }()
+
+	if s.StallTimeout > 0 && s.Progress != nil {
+		last := s.Progress(index)
+		lastAdvance := time.Now()
+		tick := time.NewTicker(s.pollInterval())
+		defer tick.Stop()
+		for {
+			select {
+			case werr := <-done:
+				return false, werr
+			case <-ctx.Done():
+				h.Kill()
+				<-done
+				return false, ctx.Err()
+			case <-tick.C:
+				if cur := s.Progress(index); cur > last {
+					last = cur
+					lastAdvance = time.Now()
+					log.Debug("shard heartbeat", obs.F("progress", cur))
+				} else if time.Since(lastAdvance) > s.StallTimeout {
+					h.Kill()
+					werr := <-done
+					if werr == nil {
+						werr = fmt.Errorf("no progress for %s", s.StallTimeout)
+					}
+					return true, werr
+				}
+			}
+		}
+	}
+
+	select {
+	case werr := <-done:
+		return false, werr
+	case <-ctx.Done():
+		h.Kill()
+		<-done
+		return false, ctx.Err()
+	}
+}

@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeHandle is an injectable shard attempt: Wait blocks on the result
+// channel; Kill resolves it with a kill error if nothing else has.
+type fakeHandle struct {
+	result chan error
+}
+
+func (h *fakeHandle) Wait() error { return <-h.result }
+func (h *fakeHandle) Kill() {
+	select {
+	case h.result <- errors.New("killed"):
+	default:
+	}
+}
+
+// resolved returns a handle whose Wait immediately yields err.
+func resolved(err error) *fakeHandle {
+	h := &fakeHandle{result: make(chan error, 1)}
+	h.result <- err
+	return h
+}
+
+// hung returns a handle that never finishes on its own (only Kill resolves
+// it) — the stalled-child simulation.
+func hung() *fakeHandle { return &fakeHandle{result: make(chan error, 1)} }
+
+// noSleep removes restart backoff from tests.
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func TestSupervisorAllSucceed(t *testing.T) {
+	s := &Supervisor{
+		Count:  3,
+		Launch: func(ctx context.Context, index, attempt int) (Handle, error) { return resolved(nil), nil },
+		sleep:  noSleep,
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Abandoned != 0 {
+		t.Fatalf("abandoned = %d", rep.Abandoned)
+	}
+	for i, sr := range rep.Shards {
+		if !sr.Done || sr.Restarts != 0 {
+			t.Fatalf("shard %d: %+v", i, sr)
+		}
+	}
+}
+
+// TestSupervisorRestartsCrashedShard: shard 1 crashes twice and succeeds on
+// the third attempt — within the default restart budget.
+func TestSupervisorRestartsCrashedShard(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	s := &Supervisor{
+		Count: 2,
+		Launch: func(ctx context.Context, index, attempt int) (Handle, error) {
+			mu.Lock()
+			attempts[index]++
+			mu.Unlock()
+			if index == 1 && attempt < 2 {
+				return resolved(errors.New("simulated crash")), nil
+			}
+			return resolved(nil), nil
+		},
+		sleep: noSleep,
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Shards[1].Done || rep.Shards[1].Restarts != 2 {
+		t.Fatalf("shard 1: %+v", rep.Shards[1])
+	}
+	if len(rep.Shards[1].Faults) != 2 {
+		t.Fatalf("shard 1 faults: %v", rep.Shards[1].Faults)
+	}
+	if attempts[1] != 3 {
+		t.Fatalf("shard 1 launched %d times, want 3", attempts[1])
+	}
+}
+
+// TestSupervisorAbandonsAfterRetries: a shard that crashes on every attempt
+// is abandoned once the restart budget is spent, and Run reports failure.
+func TestSupervisorAbandonsAfterRetries(t *testing.T) {
+	s := &Supervisor{
+		Count:       2,
+		MaxRestarts: 1,
+		Launch: func(ctx context.Context, index, attempt int) (Handle, error) {
+			if index == 0 {
+				return resolved(errors.New("always crashes")), nil
+			}
+			return resolved(nil), nil
+		},
+		sleep: noSleep,
+	}
+	rep, err := s.Run(context.Background())
+	if err == nil {
+		t.Fatal("abandoned shard reported as success")
+	}
+	if rep.Abandoned != 1 || rep.Shards[0].Done || rep.Shards[0].Err == "" {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Shards[0].Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (MaxRestarts)", rep.Shards[0].Restarts)
+	}
+	if !rep.Shards[1].Done {
+		t.Fatal("healthy shard dragged down by its sibling")
+	}
+}
+
+// TestSupervisorKillsStalledShard: attempt 0 hangs with a frozen progress
+// probe; the watchdog must kill it and the restart must succeed.
+func TestSupervisorKillsStalledShard(t *testing.T) {
+	s := &Supervisor{
+		Count: 1,
+		Launch: func(ctx context.Context, index, attempt int) (Handle, error) {
+			if attempt == 0 {
+				return hung(), nil
+			}
+			return resolved(nil), nil
+		},
+		Progress:     func(index int) int64 { return 42 }, // never advances
+		StallTimeout: 40 * time.Millisecond,
+		PollInterval: 5 * time.Millisecond,
+		sleep:        noSleep,
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.Shards[0]
+	if !sr.Done || sr.Stalls != 1 || sr.Restarts != 1 {
+		t.Fatalf("shard 0: %+v", sr)
+	}
+}
+
+// TestSupervisorProgressPreventsStallKill: a shard whose probe keeps
+// advancing is never killed, however slow it is relative to StallTimeout.
+func TestSupervisorProgressPreventsStallKill(t *testing.T) {
+	var progress int64
+	var mu sync.Mutex
+	h := hung()
+	go func() {
+		// Advance the probe every 10ms for ~15 stall windows, then finish.
+		for i := 0; i < 60; i++ {
+			time.Sleep(10 * time.Millisecond)
+			mu.Lock()
+			progress++
+			mu.Unlock()
+		}
+		h.result <- nil
+	}()
+	s := &Supervisor{
+		Count:  1,
+		Launch: func(ctx context.Context, index, attempt int) (Handle, error) { return h, nil },
+		Progress: func(index int) int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return progress
+		},
+		StallTimeout: 40 * time.Millisecond,
+		PollInterval: 5 * time.Millisecond,
+		sleep:        noSleep,
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr := rep.Shards[0]; !sr.Done || sr.Stalls != 0 || sr.Restarts != 0 {
+		t.Fatalf("slow-but-progressing shard was disturbed: %+v", sr)
+	}
+}
+
+// TestSupervisorHonorsCancellation: canceling the context kills hung
+// children and surfaces the context error without abandon-looping.
+func TestSupervisorHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	launched := make(chan struct{}, 2)
+	s := &Supervisor{
+		Count: 2,
+		Launch: func(ctx context.Context, index, attempt int) (Handle, error) {
+			launched <- struct{}{}
+			return hung(), nil
+		},
+		sleep: noSleep,
+	}
+	go func() {
+		<-launched
+		<-launched
+		cancel()
+	}()
+	done := make(chan struct{})
+	var rep *Report
+	var err error
+	go func() { rep, err = s.Run(ctx); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("no report on cancellation")
+	}
+}

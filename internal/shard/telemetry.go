@@ -1,0 +1,21 @@
+// Telemetry instruments for the shard layer. Merge counters are
+// deterministic for a fixed shard set; supervisor counters (restarts,
+// stalls) depend on real fault timing and are diagnostic only.
+package shard
+
+import "cpsguard/internal/telemetry"
+
+var (
+	mMerges         = telemetry.NewCounter("shard.merges")
+	mMergedRecords  = telemetry.NewCounter("shard.merged_records")
+	mMergeRejects   = telemetry.NewCounter("shard.merge_rejects")
+	mMergeTornTails = telemetry.NewCounter("shard.merge_torn_tails")
+
+	mShardStarts    = telemetry.NewCounter("shard.starts")
+	mShardRestarts  = telemetry.NewCounter("shard.restarts")
+	mShardStalls    = telemetry.NewCounter("shard.stalls")
+	mShardCrashes   = telemetry.NewCounter("shard.crashes")
+	mShardAbandoned = telemetry.NewCounter("shard.abandoned")
+
+	mIngests = telemetry.NewCounter("shard.snapshot_ingests")
+)

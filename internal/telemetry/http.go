@@ -47,11 +47,23 @@ func (r *Registry) DebugMux() *http.ServeMux {
 // background goroutine and returns the server plus the bound address (useful
 // with ":0"). The caller owns shutdown via srv.Close.
 func (r *Registry) ServeDebug(addr string) (*http.Server, string, error) {
+	return r.ServeDebugWith(addr, nil)
+}
+
+// ServeDebugWith is ServeDebug with a hook to mount extra handlers on the
+// same mux before it starts serving — how cpsexp's shard-aggregation
+// endpoints ride the existing -debug-addr listener instead of needing a
+// second port.
+func (r *Registry) ServeDebugWith(addr string, register func(mux *http.ServeMux)) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: r.DebugMux(), ReadHeaderTimeout: 10 * time.Second}
+	mux := r.DebugMux()
+	if register != nil {
+		register(mux)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }
