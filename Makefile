@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-warm bench-shard bench-smoke fuzz-smoke crash-resume shard-smoke clean
+.PHONY: ci vet build test race bench bench-warm bench-shard bench-servd bench-smoke fuzz-smoke crash-resume shard-smoke servd-smoke clean
 
-ci: vet build race bench-smoke fuzz-smoke crash-resume shard-smoke
+ci: vet build race bench-smoke fuzz-smoke crash-resume shard-smoke servd-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,12 @@ bench-warm:
 # BENCH_shard.json pairing ns/op with the merge validation counters.
 bench-shard:
 	BENCH_SHARD_OUT=BENCH_shard.json $(GO) test -run '^TestBenchShard$$' -count=1 -v .
+
+# Service cache-hit throughput report: times the full HTTP round trip of a
+# deduped POST /scenarios (store lookup + artifact digest re-verification)
+# and writes BENCH_servd.json pairing ns/op with the service counters.
+bench-servd:
+	BENCH_SERVD_OUT=BENCH_servd.json $(GO) test -run '^TestBenchServd$$' -count=1 -v .
 
 # One-iteration pass over every benchmark: catches benchmarks that no longer
 # compile or panic, without paying for a timed run. Part of ci.
@@ -79,12 +85,21 @@ shard-smoke:
 	cmp /tmp/cpsguard-shard-smoke/run/single/fig5.csv /tmp/cpsguard-shard-smoke/run/merged/fig5.csv
 	@echo "shard-smoke: merged CSV byte-identical to single-process run"
 
+# Scenario-service acceptance: the servd unit/integration battery (dedup,
+# coalescing, saturation, breaker, corruption eviction, drain, chaos through
+# the HTTP path), then an end-to-end binary check — start cpsservd, submit
+# the same scenario twice, require the second response to be a cache hit
+# serving bytes identical to the first, and a clean drain on SIGTERM.
+servd-smoke:
+	$(GO) test ./internal/servd/ -count=1
+	$(GO) test -run '^TestServdSmoke$$' -count=1 .
+
 # Remove build and scratch artifacts. The reference CSVs committed under
 # results/ are deliberately preserved: they are reviewed outputs, not
 # build products.
 clean:
 	$(GO) clean ./...
-	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen BENCH_telemetry.json BENCH_warmstart.json BENCH_shard.json
+	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen cpsservd BENCH_telemetry.json BENCH_warmstart.json BENCH_shard.json BENCH_servd.json
 	rm -rf /tmp/cpsguard-shard-smoke
 	find . -name '*.journal' -not -path './results/*' -delete
 	find . -name '*.test' -delete

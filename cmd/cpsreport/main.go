@@ -112,10 +112,13 @@ func loadRun(dir, journalPath string) (*runData, error) {
 		d.Trace = tr
 	}
 
-	if events, err := loadEvents(filepath.Join(dir, "events.jsonl")); err != nil {
-		miss("events.jsonl: %v", err)
-	} else {
-		d.Events = events
+	events, torn, err := loadEvents(filepath.Join(dir, "events.jsonl"))
+	d.Events = events // whatever parsed is worth rendering, even after an error
+	if err != nil {
+		miss("events.jsonl: %v (%d event(s) recovered before the error)", err, len(events))
+	}
+	if torn > 0 {
+		miss("events.jsonl: %d torn line(s) skipped (crashed mid-write?); %d event(s) recovered", torn, len(events))
 	}
 
 	if journalPath == "" {
@@ -131,16 +134,17 @@ func loadRun(dir, journalPath string) (*runData, error) {
 	return d, nil
 }
 
-// loadEvents parses an events.jsonl stream; unparseable lines are skipped
-// (a crash can tear the final line) but counted via the returned error only
-// when nothing parsed at all.
-func loadEvents(path string) ([]obs.DecodedEvent, error) {
+// loadEvents parses an events.jsonl stream. A crash can tear the file
+// mid-record — the torn line(s) are skipped and counted so the report can
+// say so, and everything that did parse is returned even when the scanner
+// itself fails partway (oversized line, read error): a truncated stream
+// degrades the report, it must never abort it.
+func loadEvents(path string) (events []obs.DecodedEvent, torn int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
-	var events []obs.DecodedEvent
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for sc.Scan() {
@@ -150,11 +154,12 @@ func loadEvents(path string) ([]obs.DecodedEvent, error) {
 		}
 		ev, err := obs.DecodeJSONL(line)
 		if err != nil {
-			continue // torn tail line from a crash
+			torn++
+			continue
 		}
 		events = append(events, ev)
 	}
-	return events, sc.Err()
+	return events, torn, sc.Err()
 }
 
 // detectJournal finds a journal among the manifest's outputs: cpsexp

@@ -145,12 +145,68 @@ func TestLoadEventsSkipsTornTail(t *testing.T) {
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	events, err := loadEvents(path)
+	events, torn, err := loadEvents(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(events) != 1 || events[0].Msg != "ok" {
 		t.Fatalf("want 1 parsed event, got %+v", events)
+	}
+	if torn != 1 {
+		t.Fatalf("torn = %d, want 1", torn)
+	}
+}
+
+func TestLoadRunReportsTornEventsAndKeepsRendering(t *testing.T) {
+	dir := t.TempDir()
+	m := manifest.New("cpsexp", 7)
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	// A stream truncated mid-record: two good events, then a torn line.
+	data := `{"level":"info","msg":"trial started"}` + "\n" +
+		`{"level":"info","msg":"wrote csv"}` + "\n" +
+		`{"level":"warn","msg":"half a reco`
+	if err := os.WriteFile(filepath.Join(dir, "events.jsonl"), []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadRun(dir, "")
+	if err != nil {
+		t.Fatalf("loadRun on a torn stream must not abort: %v", err)
+	}
+	if len(d.Events) != 2 {
+		t.Fatalf("recovered events = %d, want 2", len(d.Events))
+	}
+	var note string
+	for _, miss := range d.Missing {
+		if strings.Contains(miss, "torn") {
+			note = miss
+		}
+	}
+	if !strings.Contains(note, "1 torn line(s)") || !strings.Contains(note, "2 event(s) recovered") {
+		t.Fatalf("torn-line note missing or wrong: %q (all: %v)", note, d.Missing)
+	}
+	out := renderReport(d)
+	if !strings.Contains(out, "torn") || !strings.Contains(out, "2 events") {
+		t.Errorf("report must surface the torn note and still render events:\n%s", out)
+	}
+}
+
+func TestLoadEventsKeepsPartialOnScannerError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	// One good record, then a line exceeding the scanner's 4 MiB cap: the
+	// scanner fails, but the parsed prefix must survive.
+	data := `{"level":"info","msg":"ok"}` + "\n" + strings.Repeat("x", 5*1024*1024)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := loadEvents(path)
+	if err == nil {
+		t.Fatal("want a scanner error for the oversized line")
+	}
+	if len(events) != 1 || events[0].Msg != "ok" {
+		t.Fatalf("partial events lost on scanner error: %+v", events)
 	}
 }
 

@@ -1,0 +1,155 @@
+// Store index: the manifest layer's config checksum turned into a durable
+// content-address table. A long-lived service (cmd/cpsservd) keeps one
+// Index mapping ConfigSHA256 → committed result directory, so "have we
+// already solved this exact configuration?" is one map lookup, and a
+// restart can rediscover (and re-verify) every completed run from disk.
+//
+// The index is a cache of what the entry manifests already prove: each
+// committed entry directory carries its own manifest.json whose
+// ConfigSHA256 must equal the entry's key. Recovery therefore never trusts
+// the index blindly — it rescans the entries, and the index is rewritten to
+// match what actually verified.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cpsguard/internal/atomicio"
+)
+
+// IndexSchema identifies the store-index format for forward compatibility.
+const IndexSchema = "cpsguard-store-index/v1"
+
+// IndexFilename is the canonical index file name inside a store root.
+const IndexFilename = "index.json"
+
+// An IndexEntry records one committed result keyed by its config checksum.
+type IndexEntry struct {
+	// RunID is the durable run identifier served to clients.
+	RunID string `json:"run_id"`
+	// Dir is the entry directory, relative to the store root.
+	Dir string `json:"dir"`
+	// Tool is the binary that produced the entry.
+	Tool string `json:"tool,omitempty"`
+	// Committed is when the entry landed in the store (UTC).
+	Committed time.Time `json:"committed"`
+	// Outputs counts the digested output artifacts.
+	Outputs int `json:"outputs,omitempty"`
+	// Bytes sums the digested output artifact sizes.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// An Index is the durable key → entry table of a content-addressed result
+// store. Not safe for concurrent use; the owning store serializes access.
+type Index struct {
+	Schema string `json:"schema"`
+	// Entries maps ConfigSHA256 → committed entry.
+	Entries map[string]IndexEntry `json:"entries"`
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{Schema: IndexSchema, Entries: map[string]IndexEntry{}}
+}
+
+// Add records (or replaces) the entry for key.
+func (ix *Index) Add(key string, e IndexEntry) {
+	if ix.Entries == nil {
+		ix.Entries = map[string]IndexEntry{}
+	}
+	ix.Entries[key] = e
+}
+
+// Remove drops the entry for key (no-op when absent).
+func (ix *Index) Remove(key string) { delete(ix.Entries, key) }
+
+// Write persists the index atomically (temp + fsync + rename), so a crash
+// mid-write can never leave a torn index next to intact entries.
+func (ix *Index) Write(path string) error {
+	data, err := json.MarshalIndent(ix, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manifest: encode index: %w", err)
+	}
+	return atomicio.MkdirAllAndWrite(path, append(data, '\n'), 0o644)
+}
+
+// LoadIndex reads an index written by Write. A missing file returns an
+// empty index (a fresh store); a corrupt one returns an error so the caller
+// can rebuild from the entries instead of trusting garbage.
+func LoadIndex(path string) (*Index, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewIndex(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("manifest: index: %w", err)
+	}
+	var ix Index
+	if err := json.Unmarshal(data, &ix); err != nil {
+		return nil, fmt.Errorf("manifest: decode index %s: %w", path, err)
+	}
+	if ix.Schema != IndexSchema {
+		return nil, fmt.Errorf("manifest: index %s has schema %q, want %q", path, ix.Schema, IndexSchema)
+	}
+	if ix.Entries == nil {
+		ix.Entries = map[string]IndexEntry{}
+	}
+	return &ix, nil
+}
+
+// VerifyDir re-hashes the manifest's output artifacts against dir and
+// reports the first integrity violation: a missing file, a size change, or
+// a digest mismatch. Outputs are matched by base name, so a committed entry
+// verifies regardless of where the artifacts were originally staged. When
+// the manifest records a telemetry digest, dir/metrics.json is checked too.
+// A nil error means every recorded output byte-matches what is on disk.
+func (m *Manifest) VerifyDir(dir string) error {
+	check := func(label, base, wantSHA string, wantBytes int64) error {
+		d := HashFile(filepath.Join(dir, base))
+		if d.Error != "" {
+			return fmt.Errorf("manifest: verify %s %s: %s", label, base, d.Error)
+		}
+		if wantBytes > 0 && d.Bytes != wantBytes {
+			return fmt.Errorf("manifest: verify %s %s: %d bytes on disk, manifest says %d",
+				label, base, d.Bytes, wantBytes)
+		}
+		if d.SHA256 != wantSHA {
+			return fmt.Errorf("manifest: verify %s %s: sha256 %s on disk, manifest says %s",
+				label, base, d.SHA256, wantSHA)
+		}
+		return nil
+	}
+	for _, out := range m.Outputs {
+		if out.SHA256 == "" {
+			return fmt.Errorf("manifest: verify output %s: no digest recorded (%s)",
+				filepath.Base(out.Path), out.Error)
+		}
+		if err := check("output", filepath.Base(out.Path), out.SHA256, out.Bytes); err != nil {
+			return err
+		}
+	}
+	if m.TelemetrySHA256 != "" {
+		if err := check("telemetry", "metrics.json", m.TelemetrySHA256, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetConfig records an effective configuration that did not come from a
+// flag.FlagSet — a service request, say — and computes the same
+// order-insensitive checksum CaptureFlags would. Equal maps yield equal
+// ConfigSHA256 regardless of how the configuration reached the process, so
+// a served scenario and a CLI run of the same config share one address.
+func (m *Manifest) SetConfig(flags map[string]string) {
+	cp := make(map[string]string, len(flags))
+	for k, v := range flags {
+		cp[k] = v
+	}
+	m.Flags = cp
+	m.ConfigSHA256 = ConfigChecksum(cp)
+}

@@ -1,0 +1,138 @@
+// Per-key circuit breaker: repeated failures of one scenario key stop
+// hitting the solver and turn into fast typed 503s until a cooldown
+// passes, after which a single probe request is admitted (half-open). A
+// probe success closes the circuit; a probe failure re-opens it for a
+// fresh cooldown. Keys are independent — one pathological configuration
+// cannot take down service for every other scenario.
+package servd
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerEntry is one key's circuit state.
+type breakerEntry struct {
+	state    int
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	lastErr  error     // the failure that opened (or last re-opened) it
+	probing  bool      // a half-open probe is in flight
+}
+
+// breaker tracks per-key circuits. Safe for concurrent use.
+type breaker struct {
+	threshold int           // consecutive failures to open
+	cooldown  time.Duration // open duration before half-open
+	now       func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 15 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now,
+		entries: map[string]*breakerEntry{}}
+}
+
+// Allow reports whether a request for key may proceed. When refused, it
+// returns the remaining cooldown (the Retry-After) and the error that
+// opened the circuit. An expired cooldown admits exactly one probe (probe
+// is true for it); further requests stay refused until the probe settles.
+// A granted probe that never reaches the runner — queue full, draining,
+// coalesced — must be released with ProbeAbort or the circuit wedges.
+func (b *breaker) Allow(key string) (ok, probe bool, retryAfter time.Duration, lastErr error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || e.state == breakerClosed {
+		return true, false, 0, nil
+	}
+	remaining := e.openedAt.Add(b.cooldown).Sub(b.now())
+	if e.state == breakerOpen && remaining <= 0 {
+		e.state = breakerHalfOpen
+	}
+	if e.state == breakerHalfOpen {
+		if e.probing {
+			return false, false, b.cooldown, e.lastErr
+		}
+		e.probing = true
+		return true, true, 0, nil
+	}
+	return false, false, remaining, e.lastErr
+}
+
+// ProbeAbort releases a half-open probe slot that was granted by Allow but
+// never executed, so the next request can probe instead.
+func (b *breaker) ProbeAbort(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[key]; e != nil && e.state == breakerHalfOpen {
+		e.probing = false
+	}
+}
+
+// Success records a completed run for key and closes its circuit.
+func (b *breaker) Success(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.entries, key)
+}
+
+// Failure records a failed run for key. It opens the circuit after
+// `threshold` consecutive failures, and immediately re-opens a half-open
+// circuit whose probe failed.
+func (b *breaker) Failure(key string, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil {
+		e = &breakerEntry{}
+		b.entries[key] = e
+	}
+	e.lastErr = err
+	switch e.state {
+	case breakerHalfOpen:
+		e.state = breakerOpen
+		e.probing = false
+		e.openedAt = b.now()
+		mBreakerReopens.Inc()
+	default:
+		e.failures++
+		if e.failures >= b.threshold {
+			e.state = breakerOpen
+			e.openedAt = b.now()
+			mBreakerOpens.Inc()
+		}
+	}
+}
+
+// OpenCount reports how many circuits are currently open or half-open
+// (for /healthz and readiness accounting).
+func (b *breaker) OpenCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, e := range b.entries {
+		if e.state != breakerClosed {
+			n++
+		}
+	}
+	return n
+}

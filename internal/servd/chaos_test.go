@@ -1,0 +1,148 @@
+package servd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cpsguard/internal/core"
+	"cpsguard/internal/experiments"
+	"cpsguard/internal/faultinject"
+	"cpsguard/internal/manifest"
+	"cpsguard/internal/obs"
+)
+
+// TestChaosThroughHTTP drives the production ExperimentRunner through the
+// full HTTP path with fault injection armed at the trial layer (the same
+// "experiments.trial" site cpsexp -chaos uses): the server must survive the
+// failures as typed errors, open the scenario's circuit, recover once the
+// faults stop, and then serve a CSV byte-identical to what the experiment
+// layer produces directly — the dedup/byte-identity proof against the CLI,
+// since cpsexp writes exactly figRunner(cfg).CSV().
+func TestChaosThroughHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real solver runs; skipped in -short")
+	}
+	store, _, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faults are armed through an atomic gate so "disarm" needs no server
+	// restart — exactly like a transient infrastructure failure clearing.
+	var armed atomic.Bool
+	armed.Store(true)
+	inj := faultinject.New(1).Arm("experiments.trial", faultinject.Error, 1.0)
+	hook := func(site string) error {
+		if armed.Load() {
+			return inj.Hook(site)
+		}
+		return nil
+	}
+	var mu atomic.Int64 // fake clock, ns
+	mu.Store(time.Unix(1000, 0).UnixNano())
+	runner := &ExperimentRunner{Hook: hook, StderrLevel: obs.LevelError}
+	srv, err := New(Options{
+		Store: store, Runner: runner, Workers: 1, QueueDepth: 2,
+		BreakerThreshold: 2, BreakerCooldown: time.Minute,
+		Clock: func() time.Time { return time.Unix(0, mu.Load()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	body := `{"figure":"5","quick":true}`
+	post := func() (int, RunStatus) {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/scenarios?wait=1", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var st RunStatus
+		if resp.StatusCode < 300 || resp.StatusCode == http.StatusBadGateway {
+			json.Unmarshal(data, &st)
+		} else {
+			var eb struct {
+				Error ErrorBody `json:"error"`
+			}
+			json.Unmarshal(data, &eb)
+			st.Error = &eb.Error
+		}
+		return resp.StatusCode, st
+	}
+
+	// Every trial fails while armed: typed run_failed responses, never a
+	// crash, never a committed entry.
+	for i := 0; i < 2; i++ {
+		code, st := post()
+		if code != http.StatusBadGateway || st.Error == nil || st.Error.Kind != "run_failed" {
+			t.Fatalf("chaos run %d: code %d status %+v", i, code, st)
+		}
+	}
+	if ent, _ := store.Get(ScenarioConfig{Figure: "5", Quick: true}.Key()); ent != nil {
+		t.Fatal("a failed chaos run committed an entry")
+	}
+	// The circuit is open now: fast 503 without touching the solver.
+	if code, st := post(); code != http.StatusServiceUnavailable ||
+		st.Error == nil || st.Error.Kind != "breaker_open" {
+		t.Fatalf("open circuit: code %d status %+v", code, st)
+	}
+
+	// Faults clear; the cooldown passes; the probe succeeds end to end.
+	armed.Store(false)
+	mu.Add(int64(2 * time.Minute))
+	code, st := post()
+	if code != http.StatusOK || st.Status != "done" {
+		t.Fatalf("recovery run: code %d status %+v", code, st)
+	}
+
+	// Byte-identity proof: the served artifact equals the experiment layer's
+	// direct output for the same configuration (what cpsexp -fig 5 -quick
+	// -csv writes), and its digest matches the manifest.
+	resp, err := http.Get(hs.URL + "/runs/" + st.RunID + "/artifacts/fig5.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact fetch: %d", resp.StatusCode)
+	}
+	tb, err := experiments.Fig5(experiments.Config{
+		Trials: 2, Seed: 1, ActorGrid: []int{2, 6}, SigmaGrid: []float64{0, 0.3},
+		PaSamples: 6, NoiseMode: core.MatrixNoise,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct := []byte(tb.CSV()); !bytes.Equal(served, direct) {
+		t.Fatalf("served CSV diverges from the direct experiment run:\nserved:\n%s\ndirect:\n%s",
+			served, direct)
+	}
+	ent, err := store.Get(ScenarioConfig{Figure: "5", Quick: true}.Key())
+	if err != nil || ent == nil {
+		t.Fatalf("recovered run not committed: %v %v", ent, err)
+	}
+	if got := sha256hex(served); got != ent.Manifest.Outputs[0].SHA256 {
+		t.Fatalf("served digest %s, manifest records %s", got, ent.Manifest.Outputs[0].SHA256)
+	}
+	if ent.Manifest.ConfigSHA256 != ent.Key {
+		t.Fatalf("manifest config %s != content key %s", ent.Manifest.ConfigSHA256, ent.Key)
+	}
+	// The bundle is a full cpsreport-able run directory.
+	if _, err := manifest.Load(ent.Dir); err != nil {
+		t.Fatalf("committed bundle has no loadable manifest: %v", err)
+	}
+}

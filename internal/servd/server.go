@@ -1,0 +1,886 @@
+// The HTTP service: bounded admission onto a worker pool, single-flight
+// coalescing of identical scenarios, store-backed dedup, per-key circuit
+// breaking, and graceful drain.
+//
+//	POST /scenarios                  submit a ScenarioConfig (?wait=1 blocks)
+//	GET  /scenarios                  list committed entries
+//	GET  /runs/{id}                  status + artifact digests
+//	GET  /runs/{id}/artifacts/{name} one artifact, digest-checked
+//	GET  /runs/{id}/events           JSONL event stream (follows live runs)
+//	GET  /healthz                    liveness + queue/breaker introspection
+//	GET  /readyz                     503 while draining or saturated
+//
+// Every refusal is a typed JSON error: 429 queue_full with Retry-After when
+// the admission queue is full, 503 breaker_open carrying the structured
+// solve taxonomy of the failure that opened the circuit, 503 draining
+// during shutdown. The server never serves an artifact whose bytes do not
+// match the manifest digest recorded at commit time.
+package servd
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cpsguard/internal/checkpoint"
+	"cpsguard/internal/lp"
+	"cpsguard/internal/obs"
+)
+
+// Options configures New. Store and Runner are required.
+type Options struct {
+	// Store is the content-addressed result store.
+	Store *Store
+	// Runner executes admitted scenarios.
+	Runner Runner
+	// Workers is the solve worker pool size (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue (default 8). A submit that
+	// finds the queue full is refused with 429 + Retry-After.
+	QueueDepth int
+	// DefaultDeadline bounds each run's wall clock when the request does
+	// not set deadline_ms (0 = unbounded).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps request-supplied deadlines (default 10m).
+	MaxDeadline time.Duration
+	// Retries re-attempts failed runs with capped backoff before the
+	// failure is recorded (checkpoint.Retrier semantics: cancellation is
+	// never retried).
+	Retries int
+	// RetrySeed drives deterministic backoff jitter.
+	RetrySeed uint64
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// scenario's circuit (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit refuses before
+	// admitting a probe (default 15s).
+	BreakerCooldown time.Duration
+	// RetryAfterHint is the Retry-After returned with 429s (default 2s).
+	RetryAfterHint time.Duration
+	// Log receives server lifecycle and per-run events (nil = silent).
+	Log *obs.Logger
+	// Clock is the injectable time source for the breaker and failure
+	// records (tests). Nil means time.Now.
+	Clock func() time.Time
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 2
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 8
+}
+
+func (o Options) maxDeadline() time.Duration {
+	if o.MaxDeadline > 0 {
+		return o.MaxDeadline
+	}
+	return 10 * time.Minute
+}
+
+func (o Options) retryAfterHint() time.Duration {
+	if o.RetryAfterHint > 0 {
+		return o.RetryAfterHint
+	}
+	return 2 * time.Second
+}
+
+// maxFailureRecords bounds the in-memory failed-run table.
+const maxFailureRecords = 512
+
+// job is one admitted scenario flowing through the single-flight map and
+// the worker pool.
+type job struct {
+	key   string
+	runID string
+	cfg   ScenarioConfig
+	ddl   time.Duration
+	done  chan struct{} // closed when the job settles (done or failed)
+	probe bool          // this job is a breaker half-open probe
+
+	// The fields below are guarded by Server.mu.
+	status   string // "queued", "running", "done", "failed"
+	dir      string // staging directory while running
+	attempts int
+	err      error
+}
+
+// failRecord remembers a settled failure for status queries.
+type failRecord struct {
+	err      error
+	at       time.Time
+	attempts int
+}
+
+// Server is the scenario-analysis service. Create with New; it is safe for
+// concurrent use by the HTTP stack.
+type Server struct {
+	opts    Options
+	store   *Store
+	runner  Runner
+	log     *obs.Logger
+	breaker *breaker
+	queue   chan *job
+	now     func() time.Time
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job        // key → in-flight job (the single-flight table)
+	runKeys  map[string]string      // run ID → key
+	failures map[string]*failRecord // key → last settled failure
+}
+
+// New builds the server and starts its worker pool. Callers must Drain (or
+// Close) it before discarding.
+func New(opts Options) (*Server, error) {
+	if opts.Store == nil || opts.Runner == nil {
+		return nil, fmt.Errorf("servd: Options.Store and Options.Runner are required")
+	}
+	now := opts.Clock
+	if now == nil {
+		now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:     opts,
+		store:    opts.Store,
+		runner:   opts.Runner,
+		log:      opts.Log,
+		breaker:  newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, now),
+		queue:    make(chan *job, opts.queueDepth()),
+		now:      now,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		jobs:     map[string]*job{},
+		runKeys:  map[string]string{},
+		failures: map[string]*failRecord{},
+	}
+	for _, key := range s.store.Keys() {
+		s.runKeys[RunIDForKey(key)] = key
+	}
+	for i := 0; i < opts.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /scenarios", s.handleSubmit)
+	mux.HandleFunc("GET /scenarios", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+// Drain performs the graceful-shutdown protocol: stop admitting (submits
+// get 503 draining, /readyz goes unready), let queued and in-flight runs
+// finish and commit, then fsync the store index. If ctx fires first, the
+// remaining runs are canceled — their scenarios stay uncommitted and will
+// be recomputed on resubmit; nothing half-written becomes addressable.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if !already {
+		mDrains.Inc()
+		s.log.Info("drain started", obs.F("inflight", s.inflightCount()))
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		err = fmt.Errorf("servd: drain deadline hit; in-flight runs canceled: %w", ctx.Err())
+	}
+	if serr := s.store.Sync(); serr != nil && err == nil {
+		err = serr
+	}
+	s.log.Info("drain finished", obs.F("forced", err != nil))
+	return err
+}
+
+// Close shuts the server down immediately: admission stops, in-flight runs
+// are canceled, workers join. Intended for tests and fatal paths; use
+// Drain for graceful shutdown.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+func (s *Server) inflightCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// --- worker pool ---
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	ctx := s.baseCtx
+	cancel := func() {}
+	if j.ddl > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.ddl)
+	}
+	defer cancel()
+	s.mu.Lock()
+	j.status = "running"
+	s.mu.Unlock()
+	log := s.log.WithStage("servd " + j.runID)
+	log.Debug("run started", obs.F("key", j.key), obs.F("config", j.cfg.String()))
+
+	retrier := checkpoint.Retrier{
+		MaxRetries: s.opts.Retries, Seed: s.opts.RetrySeed, Log: s.log,
+	}
+	ent, err := checkpoint.Do(ctx, retrier, j.runID, func() (*Entry, error) {
+		s.mu.Lock()
+		j.attempts++
+		s.mu.Unlock()
+		stage, err := s.store.StageDir(j.runID)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		j.dir = stage
+		s.mu.Unlock()
+		if err := s.runner.Run(ctx, j.cfg, stage); err != nil {
+			s.mu.Lock()
+			j.dir = ""
+			s.mu.Unlock()
+			s.store.DiscardStage(stage)
+			return nil, err
+		}
+		ent, err := s.store.Commit(j.key, j.runID, stage)
+		if err != nil {
+			s.store.DiscardStage(stage)
+			return nil, err
+		}
+		return ent, nil
+	})
+
+	s.mu.Lock()
+	delete(s.jobs, j.key)
+	if err != nil {
+		j.status = "failed"
+		j.err = err
+		if len(s.failures) >= maxFailureRecords {
+			for k := range s.failures {
+				delete(s.failures, k)
+				break
+			}
+		}
+		s.failures[j.key] = &failRecord{err: err, at: s.now(), attempts: j.attempts}
+	} else {
+		j.status = "done"
+		delete(s.failures, j.key)
+	}
+	s.mu.Unlock()
+
+	if err != nil {
+		mRunsFailed.Inc()
+		// Operator shutdown (drain cancel) is not evidence against the
+		// scenario; every other failure — including a blown per-request
+		// deadline — counts toward opening its circuit.
+		if !errors.Is(err, context.Canceled) {
+			s.breaker.Failure(j.key, err)
+		}
+		log.Warn("run failed", obs.F("attempts", j.attempts), obs.F("err", err))
+	} else {
+		mRunsOK.Inc()
+		s.breaker.Success(j.key)
+		log.Info("run committed", obs.F("attempts", j.attempts),
+			obs.F("dir", ent.Dir), obs.F("outputs", len(ent.Manifest.Outputs)))
+	}
+	close(j.done)
+}
+
+// --- response types ---
+
+// SolveErrorBody surfaces the lp.SolveError taxonomy in error responses.
+type SolveErrorBody struct {
+	Problem    string `json:"problem,omitempty"`
+	Stage      string `json:"stage"`
+	Status     string `json:"status"`
+	Iterations int    `json:"iterations"`
+}
+
+// ErrorBody is the typed JSON error envelope of every non-2xx response.
+type ErrorBody struct {
+	// Kind is machine-matchable: "bad_request", "not_found", "queue_full",
+	// "breaker_open", "draining", "run_failed", "corrupt_evicted",
+	// "not_ready".
+	Kind         string          `json:"kind"`
+	Message      string          `json:"message"`
+	RetryAfterMS int64           `json:"retry_after_ms,omitempty"`
+	Solve        *SolveErrorBody `json:"solve,omitempty"`
+}
+
+// ArtifactInfo describes one downloadable artifact.
+type ArtifactInfo struct {
+	Name   string `json:"name"`
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+	URL    string `json:"url"`
+}
+
+// RunStatus is the status document for POST /scenarios and GET /runs/{id}.
+type RunStatus struct {
+	RunID        string         `json:"run_id"`
+	ConfigSHA256 string         `json:"config_sha256"`
+	Status       string         `json:"status"`
+	Cached       bool           `json:"cached,omitempty"`
+	Coalesced    bool           `json:"coalesced,omitempty"`
+	Attempts     int            `json:"attempts,omitempty"`
+	Error        *ErrorBody     `json:"error,omitempty"`
+	Artifacts    []ArtifactInfo `json:"artifacts,omitempty"`
+	EventsURL    string         `json:"events_url,omitempty"`
+}
+
+func sha256hex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func solveBody(err error) *SolveErrorBody {
+	var se *lp.SolveError
+	if !errors.As(err, &se) {
+		return nil
+	}
+	return &SolveErrorBody{
+		Problem:    se.Problem,
+		Stage:      se.Stage,
+		Status:     fmt.Sprint(se.Status),
+		Iterations: se.Iterations,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, kind, msg string,
+	retryAfter time.Duration, cause error) {
+	body := ErrorBody{Kind: kind, Message: msg, Solve: solveBody(cause)}
+	if retryAfter > 0 {
+		body.RetryAfterMS = retryAfter.Milliseconds()
+		secs := int64(retryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, code, struct {
+		Error ErrorBody `json:"error"`
+	}{body})
+}
+
+// --- handlers ---
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	mSubmits.Inc()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0, nil)
+		return
+	}
+	sc, err := ParseScenarioConfig(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0, nil)
+		return
+	}
+	key := sc.Key()
+	runID := RunIDForKey(key)
+	wait := r.URL.Query().Get("wait") != ""
+
+	// Completed and verified → instant hit, no admission control involved.
+	if ent, err := s.store.Get(key); err == nil && ent != nil {
+		mCacheHits.Inc()
+		st := s.entryStatus(ent)
+		st.Cached = true
+		writeJSON(w, http.StatusOK, st)
+		return
+	} else if err != nil {
+		// Corrupt entry: evicted just now; fall through and recompute.
+		s.log.Warn("corrupt entry evicted on submit", obs.F("key", key), obs.F("err", err))
+	}
+
+	allowed, probe, retryAfter, lastErr := s.breaker.Allow(key)
+	if !allowed {
+		mRejectBreaker.Inc()
+		writeError(w, http.StatusServiceUnavailable, "breaker_open",
+			fmt.Sprintf("scenario %s is failing repeatedly; circuit open", runID),
+			retryAfter, lastErr)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		if probe {
+			s.breaker.ProbeAbort(key)
+		}
+		mRejectDraining.Inc()
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			"server is draining; resubmit elsewhere or after restart", s.opts.retryAfterHint(), nil)
+		return
+	}
+	if existing := s.jobs[key]; existing != nil {
+		s.mu.Unlock()
+		if probe {
+			s.breaker.ProbeAbort(key)
+		}
+		mCoalesced.Inc()
+		st := s.jobStatusLocked(existing)
+		st.Coalesced = true
+		if wait {
+			s.waitAndRespond(w, r, existing)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	j := &job{
+		key: key, runID: runID, cfg: sc, done: make(chan struct{}),
+		status: "queued", probe: probe,
+		ddl: s.effectiveDeadline(sc.DeadlineMS),
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[key] = j
+		s.runKeys[runID] = key
+		s.mu.Unlock()
+		mEnqueued.Inc()
+	default:
+		s.mu.Unlock()
+		if probe {
+			s.breaker.ProbeAbort(key)
+		}
+		mRejectQueueFull.Inc()
+		writeError(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("admission queue full (%d deep); retry shortly", s.opts.queueDepth()),
+			s.opts.retryAfterHint(), nil)
+		return
+	}
+	if wait {
+		s.waitAndRespond(w, r, j)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.jobStatusLocked(j))
+}
+
+func (s *Server) effectiveDeadline(ms int64) time.Duration {
+	d := s.opts.DefaultDeadline
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if max := s.opts.maxDeadline(); d > max {
+		d = max
+	}
+	return d
+}
+
+// waitAndRespond blocks until the job settles (or the client goes away)
+// and renders its final status.
+func (s *Server) waitAndRespond(w http.ResponseWriter, r *http.Request, j *job) {
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusRequestTimeout, "client_gone",
+			"request canceled while waiting; the run continues — poll GET /runs/"+j.runID, 0, nil)
+		return
+	}
+	s.respondSettled(w, j.key, j.runID)
+}
+
+// respondSettled renders a settled scenario: committed → 200 with artifact
+// digests, failed → 502 run_failed with the solve taxonomy.
+func (s *Server) respondSettled(w http.ResponseWriter, key, runID string) {
+	if ent, err := s.store.Get(key); err == nil && ent != nil {
+		writeJSON(w, http.StatusOK, s.entryStatus(ent))
+		return
+	}
+	s.mu.Lock()
+	rec := s.failures[key]
+	s.mu.Unlock()
+	if rec != nil {
+		st := RunStatus{RunID: runID, ConfigSHA256: key, Status: "failed",
+			Attempts: rec.attempts,
+			Error: &ErrorBody{Kind: "run_failed", Message: rec.err.Error(),
+				Solve: solveBody(rec.err)}}
+		writeJSON(w, http.StatusBadGateway, st)
+		return
+	}
+	writeError(w, http.StatusNotFound, "not_found",
+		"run settled but left no record (evicted?) — resubmit", 0, nil)
+}
+
+func (s *Server) entryStatus(ent *Entry) RunStatus {
+	st := RunStatus{
+		RunID:        ent.RunID,
+		ConfigSHA256: ent.Key,
+		Status:       "done",
+		EventsURL:    "/runs/" + ent.RunID + "/events",
+	}
+	for _, out := range ent.Manifest.Outputs {
+		name := filepath.Base(out.Path)
+		st.Artifacts = append(st.Artifacts, ArtifactInfo{
+			Name: name, SHA256: out.SHA256, Bytes: out.Bytes,
+			URL: "/runs/" + ent.RunID + "/artifacts/" + name,
+		})
+	}
+	return st
+}
+
+func (s *Server) jobStatusLocked(j *job) RunStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return RunStatus{
+		RunID:        j.runID,
+		ConfigSHA256: j.key,
+		Status:       j.status,
+		Attempts:     j.attempts,
+		EventsURL:    "/runs/" + j.runID + "/events",
+	}
+}
+
+// resolveKey maps a {id} path element to a content key: a known run ID, or
+// a full 64-hex key used directly.
+func (s *Server) resolveKey(id string) (string, bool) {
+	s.mu.Lock()
+	key, ok := s.runKeys[id]
+	s.mu.Unlock()
+	if ok {
+		return key, true
+	}
+	if keyPattern.MatchString(id) {
+		return id, true
+	}
+	return "", false
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	key, ok := s.resolveKey(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown run ID", 0, nil)
+		return
+	}
+	s.mu.Lock()
+	j := s.jobs[key]
+	s.mu.Unlock()
+	if j != nil {
+		writeJSON(w, http.StatusOK, s.jobStatusLocked(j))
+		return
+	}
+	if _, ok := s.store.Lookup(key); ok {
+		if ent, err := s.store.Get(key); err == nil && ent != nil {
+			writeJSON(w, http.StatusOK, s.entryStatus(ent))
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "corrupt_evicted",
+			"stored result failed integrity verification and was evicted; resubmit the scenario",
+			s.opts.retryAfterHint(), nil)
+		return
+	}
+	s.mu.Lock()
+	rec := s.failures[key]
+	s.mu.Unlock()
+	if rec != nil {
+		st := RunStatus{RunID: RunIDForKey(key), ConfigSHA256: key, Status: "failed",
+			Attempts: rec.attempts,
+			Error: &ErrorBody{Kind: "run_failed", Message: rec.err.Error(),
+				Solve: solveBody(rec.err)}}
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	writeError(w, http.StatusNotFound, "not_found", "unknown run", 0, nil)
+}
+
+// artifactContentTypes maps artifact extensions to media types.
+var artifactContentTypes = map[string]string{
+	".csv":   "text/csv; charset=utf-8",
+	".json":  "application/json",
+	".jsonl": "application/x-ndjson",
+}
+
+// bundleFiles are the run-bundle artifacts servable without a manifest
+// digest (the manifest deliberately does not digest its own file or the
+// live event stream).
+var bundleFiles = map[string]bool{
+	"events.jsonl": true, "metrics.json": true,
+	"trace.json": true, "manifest.json": true,
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	key, ok := s.resolveKey(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown run ID", 0, nil)
+		return
+	}
+	name := r.PathValue("name")
+	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed artifact name", 0, nil)
+		return
+	}
+	s.mu.Lock()
+	inflight := s.jobs[key] != nil
+	s.mu.Unlock()
+	if inflight {
+		writeError(w, http.StatusConflict, "not_ready",
+			"run still in flight; stream /events or poll /runs/{id}", 0, nil)
+		return
+	}
+	ent, err := s.store.Get(key)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "corrupt_evicted",
+			"stored result failed integrity verification and was evicted; resubmit the scenario",
+			s.opts.retryAfterHint(), err)
+		return
+	}
+	if ent == nil {
+		writeError(w, http.StatusNotFound, "not_found", "no committed run for this ID", 0, nil)
+		return
+	}
+	var want string // digest the served bytes must match ("" for bundle files)
+	for _, out := range ent.Manifest.Outputs {
+		if filepath.Base(out.Path) == name {
+			want = out.SHA256
+			break
+		}
+	}
+	if want == "" && !bundleFiles[name] {
+		writeError(w, http.StatusNotFound, "not_found", "unknown artifact "+name, 0, nil)
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(ent.Dir, name))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error(), 0, nil)
+		return
+	}
+	if want != "" && sha256hex(data) != want {
+		// Corrupted between Get's verification and this read — evict so
+		// the next submit recomputes, and never serve the bytes.
+		s.store.Evict(key)
+		mEvictionsCorrupt.Inc()
+		writeError(w, http.StatusServiceUnavailable, "corrupt_evicted",
+			"artifact bytes do not match the committed digest; entry evicted", 0, nil)
+		return
+	}
+	ct := artifactContentTypes[filepath.Ext(name)]
+	if ct == "" {
+		ct = "application/octet-stream"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	if want != "" {
+		w.Header().Set("X-Content-SHA256", want)
+	}
+	w.Write(data)
+}
+
+// handleEvents streams a run's events.jsonl. For a completed run it serves
+// the committed stream; for an in-flight run it follows the live file,
+// flushing as lines land, until the run settles or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	key, ok := s.resolveKey(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown run ID", 0, nil)
+		return
+	}
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	flusher, _ := w.(http.Flusher)
+	headerSent := false
+	for {
+		path, inflight, known := s.eventsSource(key)
+		if !known {
+			if !headerSent {
+				writeError(w, http.StatusNotFound, "not_found", "unknown run", 0, nil)
+			}
+			return
+		}
+		if f == nil && path != "" {
+			if file, err := os.Open(path); err == nil {
+				f = file
+			}
+		}
+		if f != nil {
+			if !headerSent {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				headerSent = true
+			}
+			if n, _ := io.Copy(w, f); n > 0 && flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if !inflight {
+			if !headerSent {
+				writeError(w, http.StatusNotFound, "not_found",
+					"run settled without an event stream", 0, nil)
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// eventsSource locates the current events.jsonl for key: the in-flight
+// staging directory while running, the committed entry afterward.
+func (s *Server) eventsSource(key string) (path string, inflight, known bool) {
+	s.mu.Lock()
+	if j := s.jobs[key]; j != nil {
+		dir := j.dir
+		s.mu.Unlock()
+		if dir == "" {
+			return "", true, true // queued or between attempts: poll again
+		}
+		return filepath.Join(dir, "events.jsonl"), true, true
+	}
+	_, failed := s.failures[key]
+	s.mu.Unlock()
+	if ie, ok := s.store.Lookup(key); ok {
+		return filepath.Join(s.store.root, ie.Dir, "events.jsonl"), false, true
+	}
+	if failed {
+		return "", false, true
+	}
+	return "", false, false
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	type item struct {
+		RunID        string    `json:"run_id"`
+		ConfigSHA256 string    `json:"config_sha256"`
+		Committed    time.Time `json:"committed"`
+		Bytes        int64     `json:"bytes"`
+	}
+	var items []item
+	for _, key := range s.store.Keys() {
+		if ie, ok := s.store.Lookup(key); ok {
+			items = append(items, item{RunID: ie.RunID, ConfigSHA256: key,
+				Committed: ie.Committed, Bytes: ie.Bytes})
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Entries []item `json:"entries"`
+		Count   int    `json:"count"`
+	}{items, len(items)})
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status       string `json:"status"`
+	Draining     bool   `json:"draining"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_cap"`
+	Inflight     int    `json:"inflight"`
+	BreakersOpen int    `json:"breakers_open"`
+	StoreEntries int    `json:"store_entries"`
+}
+
+func (s *Server) health() Health {
+	s.mu.Lock()
+	draining := s.draining
+	inflight := len(s.jobs)
+	s.mu.Unlock()
+	h := Health{
+		Status:       "ok",
+		Draining:     draining,
+		QueueDepth:   len(s.queue),
+		QueueCap:     s.opts.queueDepth(),
+		Inflight:     inflight,
+		BreakersOpen: s.breaker.OpenCount(),
+		StoreEntries: len(s.store.Keys()),
+	}
+	if draining {
+		h.Status = "draining"
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleReadyz reports readiness: unready (503) while draining or while
+// the admission queue is saturated, so load balancers steer traffic away
+// before clients start eating 429s.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	if h.Draining || h.QueueDepth >= h.QueueCap {
+		h.Status = "unready"
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,328 @@
+// The content-addressed result store. Layout under one root directory:
+//
+//	<root>/index.json            durable key → entry table (manifest.Index)
+//	<root>/entries/<key>/        committed run bundles (fig CSV, events,
+//	                             metrics, trace, manifest.json)
+//	<root>/inflight/<run>.<n>/   staging directories for running scenarios
+//	<root>/quarantine/<key>.<n>/ evicted entries kept for post-mortem
+//
+// Commit is crash-safe: a run is staged under inflight/, its manifest is
+// written last (through internal/atomicio), and the whole directory is
+// renamed into entries/ — a single atomic step on POSIX — before the index
+// is rewritten (also atomically). A crash at any point leaves either a
+// complete committed entry or debris that startup recovery removes
+// (inflight leftovers) or quarantines (entries that fail verification).
+//
+// Integrity is re-checked on every read path: Get re-hashes the entry's
+// artifacts against its manifest before reporting a hit, and a corrupt
+// entry is quarantined and reported as a miss so it is recomputed, never
+// served.
+package servd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"cpsguard/internal/manifest"
+)
+
+// keyPattern guards directory names derived from client-influenced keys.
+// Keys are hex SHA-256 strings; anything else never touches the filesystem.
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// An Entry is one committed, verified result.
+type Entry struct {
+	// Key is the scenario's content address (hex SHA-256).
+	Key string
+	// RunID is the client-facing run identifier.
+	RunID string
+	// Dir is the absolute entry directory.
+	Dir string
+	// Manifest is the entry's loaded manifest.
+	Manifest *manifest.Manifest
+}
+
+// RecoveryReport summarizes what Open found on disk.
+type RecoveryReport struct {
+	// Entries is the number of verified committed entries.
+	Entries int
+	// Quarantined lists entry keys moved to quarantine/ (torn or corrupt).
+	Quarantined []string
+	// RemovedInflight counts leftover staging directories from a crash.
+	RemovedInflight int
+}
+
+// Store is the on-disk content-addressed result store. Safe for concurrent
+// use.
+type Store struct {
+	root string
+
+	mu    sync.Mutex
+	index *manifest.Index
+	nonce int // staging/quarantine uniquifier
+	now   func() time.Time
+}
+
+// Open opens (creating if needed) the store rooted at root and runs
+// startup recovery: leftover inflight staging directories are removed,
+// every committed entry is re-verified against its manifest, and entries
+// that fail — torn writes, flipped bits, key/manifest mismatches — are
+// quarantined. The returned index reflects only entries that verified.
+func Open(root string) (*Store, RecoveryReport, error) {
+	var rep RecoveryReport
+	for _, sub := range []string{"entries", "inflight", "quarantine"} {
+		if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
+			return nil, rep, fmt.Errorf("servd: store: %w", err)
+		}
+	}
+	s := &Store{root: root, now: time.Now}
+
+	// Remove crash debris: anything under inflight/ was mid-run when the
+	// previous process died and is incomplete by construction.
+	inflight, err := os.ReadDir(filepath.Join(root, "inflight"))
+	if err != nil {
+		return nil, rep, fmt.Errorf("servd: store: %w", err)
+	}
+	for _, d := range inflight {
+		os.RemoveAll(filepath.Join(root, "inflight", d.Name()))
+		rep.RemovedInflight++
+	}
+
+	// Rebuild the index from the entries that actually verify. The
+	// persisted index seeds run IDs but is never trusted over the disk.
+	prior, err := manifest.LoadIndex(filepath.Join(root, manifest.IndexFilename))
+	if err != nil {
+		prior = manifest.NewIndex() // corrupt index: rebuild from entries
+	}
+	ix := manifest.NewIndex()
+	dirs, err := os.ReadDir(filepath.Join(root, "entries"))
+	if err != nil {
+		return nil, rep, fmt.Errorf("servd: store: %w", err)
+	}
+	for _, d := range dirs {
+		key := d.Name()
+		dir := filepath.Join(root, "entries", key)
+		if !d.IsDir() || !keyPattern.MatchString(key) {
+			s.quarantineLocked(key, dir)
+			rep.Quarantined = append(rep.Quarantined, key)
+			continue
+		}
+		ent, err := verifyEntry(key, dir)
+		if err != nil {
+			s.quarantineLocked(key, dir)
+			rep.Quarantined = append(rep.Quarantined, key)
+			mQuarantined.Inc()
+			continue
+		}
+		ie := prior.Entries[key]
+		ie.RunID = RunIDForKey(key)
+		ie.Dir = filepath.Join("entries", key)
+		ie.Tool = ent.Manifest.Tool
+		if ie.Committed.IsZero() {
+			ie.Committed = ent.Manifest.Finished
+		}
+		ie.Outputs = len(ent.Manifest.Outputs)
+		ie.Bytes = outputBytes(ent.Manifest)
+		ix.Add(key, ie)
+		rep.Entries++
+	}
+	sort.Strings(rep.Quarantined)
+	s.index = ix
+	if err := s.Sync(); err != nil {
+		return nil, rep, err
+	}
+	return s, rep, nil
+}
+
+// verifyEntry loads an entry's manifest and proves the directory matches
+// it: the manifest's config checksum must equal the key (the address really
+// addresses this content) and every recorded artifact digest must match the
+// bytes on disk.
+func verifyEntry(key, dir string) (*Entry, error) {
+	m, err := manifest.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	if m.ConfigSHA256 != key {
+		return nil, fmt.Errorf("servd: entry %s manifest has config %s", key, m.ConfigSHA256)
+	}
+	if len(m.Outputs) == 0 {
+		return nil, fmt.Errorf("servd: entry %s has no recorded outputs", key)
+	}
+	if err := m.VerifyDir(dir); err != nil {
+		return nil, err
+	}
+	return &Entry{Key: key, RunID: RunIDForKey(key), Dir: dir, Manifest: m}, nil
+}
+
+func outputBytes(m *manifest.Manifest) int64 {
+	var n int64
+	for _, o := range m.Outputs {
+		n += o.Bytes
+	}
+	return n
+}
+
+// Get returns the verified entry for key, or nil on a miss. A committed
+// entry that fails verification — corrupted since commit — is quarantined,
+// dropped from the index, and reported as a miss: the caller recomputes,
+// and the corrupt bytes are never served.
+func (s *Store) Get(key string) (*Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ie, ok := s.index.Entries[key]
+	if !ok {
+		return nil, nil
+	}
+	dir := filepath.Join(s.root, ie.Dir)
+	ent, err := verifyEntry(key, dir)
+	if err != nil {
+		mEvictionsCorrupt.Inc()
+		s.quarantineLocked(key, dir)
+		s.index.Remove(key)
+		if serr := s.syncLocked(); serr != nil {
+			return nil, fmt.Errorf("servd: evict %s: %w", key, serr)
+		}
+		return nil, fmt.Errorf("servd: entry %s failed verification (quarantined): %w", key, err)
+	}
+	return ent, nil
+}
+
+// Keys returns the sorted committed keys.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.index.Entries))
+	for k := range s.index.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Lookup returns the index entry for key without verification (status
+// queries). The boolean reports presence.
+func (s *Store) Lookup(key string) (manifest.IndexEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ie, ok := s.index.Entries[key]
+	return ie, ok
+}
+
+// StageDir creates a fresh staging directory under inflight/ for one run
+// attempt. The caller must either Commit it or DiscardStage it.
+func (s *Store) StageDir(runID string) (string, error) {
+	s.mu.Lock()
+	s.nonce++
+	n := s.nonce
+	s.mu.Unlock()
+	dir := filepath.Join(s.root, "inflight", fmt.Sprintf("%s.%d", runID, n))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("servd: stage: %w", err)
+	}
+	return dir, nil
+}
+
+// DiscardStage removes a failed attempt's staging directory.
+func (s *Store) DiscardStage(dir string) {
+	if dir != "" && filepath.Dir(dir) == filepath.Join(s.root, "inflight") {
+		os.RemoveAll(dir)
+	}
+}
+
+// Commit verifies a fully-staged run bundle and moves it into entries/ in
+// one rename, then rewrites the index. The staged manifest must carry
+// ConfigSHA256 == key — committing under a different address than the run
+// actually computed is refused. Committing over an existing entry replaces
+// it (last writer wins; both sides verified the same key, so contents are
+// equivalent by construction).
+func (s *Store) Commit(key, runID, stagedDir string) (*Entry, error) {
+	if !keyPattern.MatchString(key) {
+		return nil, fmt.Errorf("servd: commit: malformed key %q", key)
+	}
+	if _, err := verifyEntry(key, stagedDir); err != nil {
+		return nil, fmt.Errorf("servd: commit: staged bundle invalid: %w", err)
+	}
+	dest := filepath.Join(s.root, "entries", key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index.Entries[key]; ok {
+		// A concurrent duplicate already landed (two processes sharing a
+		// store root). Keep the incumbent; this attempt becomes debris.
+		os.RemoveAll(stagedDir)
+	} else {
+		os.RemoveAll(dest) // unindexed leftover, e.g. replaced after evict
+		if err := os.Rename(stagedDir, dest); err != nil {
+			return nil, fmt.Errorf("servd: commit %s: %w", key, err)
+		}
+		syncDir(filepath.Dir(dest))
+	}
+	ent, err := verifyEntry(key, dest)
+	if err != nil {
+		return nil, fmt.Errorf("servd: commit %s: post-rename verification: %w", key, err)
+	}
+	s.index.Add(key, manifest.IndexEntry{
+		RunID:     runID,
+		Dir:       filepath.Join("entries", key),
+		Tool:      ent.Manifest.Tool,
+		Committed: s.now().UTC(),
+		Outputs:   len(ent.Manifest.Outputs),
+		Bytes:     outputBytes(ent.Manifest),
+	})
+	if err := s.syncLocked(); err != nil {
+		return nil, err
+	}
+	mCommits.Inc()
+	return ent, nil
+}
+
+// Evict quarantines the entry for key (operator-initiated or corruption
+// detected downstream) and drops it from the index.
+func (s *Store) Evict(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ie, ok := s.index.Entries[key]
+	if !ok {
+		return nil
+	}
+	s.quarantineLocked(key, filepath.Join(s.root, ie.Dir))
+	s.index.Remove(key)
+	return s.syncLocked()
+}
+
+// Sync rewrites index.json atomically (fsynced). Called on every commit and
+// eviction, and once more during drain so the index on disk always reflects
+// the final committed set.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	return s.index.Write(filepath.Join(s.root, manifest.IndexFilename))
+}
+
+// quarantineLocked moves a broken directory under quarantine/ with a unique
+// suffix; if the move fails (cross-device debris, permissions) the
+// directory is removed instead — a broken entry must never stay addressable.
+func (s *Store) quarantineLocked(key, dir string) {
+	s.nonce++
+	dest := filepath.Join(s.root, "quarantine", fmt.Sprintf("%s.%d", filepath.Base(key), s.nonce))
+	if err := os.Rename(dir, dest); err != nil {
+		os.RemoveAll(dir)
+	}
+}
+
+// syncDir fsyncs a directory (best-effort, mirroring internal/atomicio).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

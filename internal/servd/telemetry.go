@@ -1,0 +1,31 @@
+// Telemetry instruments for the service layer, visible on the existing
+// -debug-addr mux (/metrics, /debug/vars) like every other subsystem's.
+// Request counters depend on traffic and are diagnostic; store counters
+// (commits, evictions) are deterministic for a fixed request sequence.
+package servd
+
+import "cpsguard/internal/telemetry"
+
+var (
+	mRequests  = telemetry.NewCounter("servd.requests")
+	mSubmits   = telemetry.NewCounter("servd.submits")
+	mCacheHits = telemetry.NewCounter("servd.cache_hits")
+	mCoalesced = telemetry.NewCounter("servd.coalesced")
+	mEnqueued  = telemetry.NewCounter("servd.enqueued")
+
+	mRejectQueueFull = telemetry.NewCounter("servd.rejected_queue_full")
+	mRejectBreaker   = telemetry.NewCounter("servd.rejected_breaker_open")
+	mRejectDraining  = telemetry.NewCounter("servd.rejected_draining")
+
+	mRunsOK     = telemetry.NewCounter("servd.runs_ok")
+	mRunsFailed = telemetry.NewCounter("servd.runs_failed")
+
+	mCommits          = telemetry.NewCounter("servd.store_commits")
+	mEvictionsCorrupt = telemetry.NewCounter("servd.store_evictions_corrupt")
+	mQuarantined      = telemetry.NewCounter("servd.store_quarantined")
+
+	mBreakerOpens   = telemetry.NewCounter("servd.breaker_opens")
+	mBreakerReopens = telemetry.NewCounter("servd.breaker_reopens")
+
+	mDrains = telemetry.NewCounter("servd.drains")
+)

@@ -8,6 +8,13 @@
 // shard process, so the newest snapshot supersedes older ones, and a
 // restarted shard simply starts a new cumulative series (its journal
 // replays keep the logical work honest).
+//
+// Shards that stop reporting go stale: a shard whose last ingest is older
+// than the staleness cutoff (default 5 minutes; see SetStaleAfter) is
+// excluded from the fleet sums and listed under "stale" in the rollup with
+// its age. Without the cutoff, a supervisor-restarted shard would leave its
+// dead predecessor's final snapshot in the rollup forever, double-counting
+// that shard's work against the restarted series.
 package shard
 
 import (
@@ -35,29 +42,69 @@ type IngestPayload struct {
 	Snapshot *telemetry.Snapshot `json:"snapshot"`
 }
 
+// DefaultStaleAfter is the staleness cutoff applied by NewAggregator: a
+// shard silent for longer drops out of the fleet sums. Shards report every
+// few seconds while alive, so five minutes of silence means the process is
+// gone (crashed, restarted under a new series, or finished long ago).
+const DefaultStaleAfter = 5 * time.Minute
+
 // Rollup is the GET /shards/rollup response.
 type Rollup struct {
-	// Shards maps shard ID to its latest ingested counters.
+	// Shards maps shard ID to its latest ingested counters — fresh shards
+	// only; stale ones are listed under Stale instead of summed.
 	Shards map[string]map[string]int64 `json:"shards"`
-	// Fleet sums every counter across shards.
+	// Fleet sums every counter across the fresh shards.
 	Fleet map[string]int64 `json:"fleet"`
-	// Count is the number of shards heard from.
+	// Count is the number of fresh shards contributing to Fleet.
 	Count int `json:"count"`
+	// AgeSeconds maps every shard ID (fresh and stale) to the seconds
+	// since its last ingest.
+	AgeSeconds map[string]float64 `json:"age_seconds,omitempty"`
+	// Stale lists (sorted) the shard IDs excluded from Fleet because their
+	// last ingest is older than the cutoff.
+	Stale []string `json:"stale,omitempty"`
+	// StaleCount is len(Stale), kept explicit for dashboards.
+	StaleCount int `json:"stale_count,omitempty"`
 }
 
 // Aggregator collects per-shard telemetry snapshots. Safe for concurrent
 // use; the zero value is not usable — use NewAggregator.
 type Aggregator struct {
-	mu    sync.Mutex
-	snaps map[string]*telemetry.Snapshot
+	mu         sync.Mutex
+	snaps      map[string]*telemetry.Snapshot
+	lastIngest map[string]time.Time
+	staleAfter time.Duration
+	now        func() time.Time
 }
 
-// NewAggregator returns an empty aggregator.
+// NewAggregator returns an empty aggregator with the default staleness
+// cutoff.
 func NewAggregator() *Aggregator {
-	return &Aggregator{snaps: map[string]*telemetry.Snapshot{}}
+	return &Aggregator{
+		snaps:      map[string]*telemetry.Snapshot{},
+		lastIngest: map[string]time.Time{},
+		staleAfter: DefaultStaleAfter,
+		now:        time.Now,
+	}
 }
 
-// Ingest records (or replaces) one shard's snapshot.
+// SetStaleAfter changes the staleness cutoff; d <= 0 disables staleness
+// entirely (every shard ever heard from stays in the fleet sums).
+func (a *Aggregator) SetStaleAfter(d time.Duration) {
+	a.mu.Lock()
+	a.staleAfter = d
+	a.mu.Unlock()
+}
+
+// SetClock injects a time source (tests).
+func (a *Aggregator) SetClock(now func() time.Time) {
+	a.mu.Lock()
+	a.now = now
+	a.mu.Unlock()
+}
+
+// Ingest records (or replaces) one shard's snapshot and refreshes its
+// last-ingest timestamp.
 func (a *Aggregator) Ingest(shardID string, snap *telemetry.Snapshot) {
 	if snap == nil {
 		return
@@ -65,24 +112,38 @@ func (a *Aggregator) Ingest(shardID string, snap *telemetry.Snapshot) {
 	mIngests.Inc()
 	a.mu.Lock()
 	a.snaps[shardID] = snap
+	a.lastIngest[shardID] = a.now()
 	a.mu.Unlock()
 }
 
-// Rollup sums the latest counters across every ingested shard.
+// Rollup sums the latest counters across every fresh shard. Shards whose
+// last ingest is older than the staleness cutoff are flagged in Stale and
+// excluded from Shards/Fleet/Count, so a restarted shard's new series is
+// never double-counted against its dead predecessor's.
 func (a *Aggregator) Rollup() Rollup {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	now := a.now()
 	r := Rollup{
-		Shards: make(map[string]map[string]int64, len(a.snaps)),
-		Fleet:  map[string]int64{},
-		Count:  len(a.snaps),
+		Shards:     make(map[string]map[string]int64, len(a.snaps)),
+		Fleet:      map[string]int64{},
+		AgeSeconds: make(map[string]float64, len(a.snaps)),
 	}
 	for id, snap := range a.snaps {
+		age := now.Sub(a.lastIngest[id])
+		r.AgeSeconds[id] = age.Seconds()
+		if a.staleAfter > 0 && age > a.staleAfter {
+			r.Stale = append(r.Stale, id)
+			continue
+		}
 		r.Shards[id] = snap.Counters
+		r.Count++
 		for name, v := range snap.Counters {
 			r.Fleet[name] += v
 		}
 	}
+	sort.Strings(r.Stale)
+	r.StaleCount = len(r.Stale)
 	return r
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"cpsguard/internal/telemetry"
 )
@@ -32,6 +33,52 @@ func TestAggregatorRollupSumsCounters(t *testing.T) {
 	names := r.CounterNames()
 	if len(names) != 3 || names[0] != "extra" {
 		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestAggregatorRollupExcludesStaleShards(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	agg := NewAggregator()
+	agg.SetClock(func() time.Time { return clock })
+	agg.SetStaleAfter(time.Minute)
+
+	agg.Ingest("0/2", snapWith(map[string]int64{"trials": 4}))
+	clock = clock.Add(90 * time.Second) // shard 0 dies; shard 1 keeps reporting
+	agg.Ingest("1/2", snapWith(map[string]int64{"trials": 7}))
+
+	r := agg.Rollup()
+	if r.Count != 1 || r.Fleet["trials"] != 7 {
+		t.Fatalf("fresh rollup = %+v (stale shard double-counted?)", r)
+	}
+	if r.StaleCount != 1 || len(r.Stale) != 1 || r.Stale[0] != "0/2" {
+		t.Fatalf("stale = %v (count %d)", r.Stale, r.StaleCount)
+	}
+	if _, ok := r.Shards["0/2"]; ok {
+		t.Fatal("stale shard still listed among fresh shards")
+	}
+	if got := r.AgeSeconds["0/2"]; got != 90 {
+		t.Fatalf("age of dead shard = %v, want 90", got)
+	}
+
+	// The restarted shard re-ingests under the same ID: fresh again, its
+	// new series replaces the dead one's — still counted exactly once.
+	agg.Ingest("0/2", snapWith(map[string]int64{"trials": 2}))
+	r = agg.Rollup()
+	if r.Count != 2 || r.Fleet["trials"] != 9 || r.StaleCount != 0 {
+		t.Fatalf("post-restart rollup = %+v", r)
+	}
+}
+
+func TestAggregatorStalenessDisabled(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	agg := NewAggregator()
+	agg.SetClock(func() time.Time { return clock })
+	agg.SetStaleAfter(0)
+
+	agg.Ingest("0/1", snapWith(map[string]int64{"trials": 3}))
+	clock = clock.Add(24 * time.Hour)
+	if r := agg.Rollup(); r.Count != 1 || r.Fleet["trials"] != 3 {
+		t.Fatalf("rollup with staleness off = %+v", r)
 	}
 }
 

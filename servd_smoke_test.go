@@ -1,0 +1,150 @@
+// End-to-end smoke of the cpsservd binary: build it, start it on an
+// ephemeral port, submit the same scenario twice — the second response must
+// be a cache hit and the downloaded artifact byte-identical to the first —
+// then SIGTERM it and require a clean drain (exit 0). `make servd-smoke`
+// runs this; it is also part of the ordinary test suite (skipped in -short).
+package cpsguard
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestServdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the cpsservd binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "cpsservd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/cpsservd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build cpsservd: %v\n%s", err, out)
+	}
+
+	storeDir := filepath.Join(dir, "store")
+	cmd := exec.Command(bin, "-addr", "localhost:0", "-store", storeDir,
+		"-workers", "1", "-log-level", "warn", "-drain-timeout", "30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	lineCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 256)
+		var line []byte
+		for {
+			n, err := stdout.Read(buf)
+			line = append(line, buf[:n]...)
+			if i := bytes.IndexByte(line, '\n'); i >= 0 || err != nil {
+				if i >= 0 {
+					line = line[:i]
+				}
+				lineCh <- string(line)
+				io.Copy(io.Discard, stdout)
+				return
+			}
+		}
+	}()
+	var baseURL string
+	select {
+	case line := <-lineCh:
+		i := strings.Index(line, "http://")
+		j := strings.IndexByte(line[i+7:], ' ')
+		if i < 0 || j < 0 {
+			t.Fatalf("cannot parse listen line %q", line)
+		}
+		baseURL = line[i : i+7+j]
+	case <-time.After(30 * time.Second):
+		t.Fatal("cpsservd never announced its address")
+	}
+
+	body := `{"figure":"5","quick":true,"seed":7}`
+	post := func() (cached bool, artifactURL string) {
+		t.Helper()
+		resp, err := http.Post(baseURL+"/scenarios?wait=1", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit: %d %s", resp.StatusCode, data)
+		}
+		var st struct {
+			Status    string `json:"status"`
+			Cached    bool   `json:"cached"`
+			Artifacts []struct {
+				URL string `json:"url"`
+			} `json:"artifacts"`
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("bad status body: %v: %s", err, data)
+		}
+		if st.Status != "done" || len(st.Artifacts) == 0 {
+			t.Fatalf("run not done: %s", data)
+		}
+		return st.Cached, st.Artifacts[0].URL
+	}
+	fetch := func(url string) []byte {
+		t.Helper()
+		resp, err := http.Get(baseURL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("artifact fetch: %d", resp.StatusCode)
+		}
+		return data
+	}
+
+	cached, url1 := post()
+	if cached {
+		t.Fatal("first submit claims a cache hit on an empty store")
+	}
+	first := fetch(url1)
+	cached, url2 := post()
+	if !cached {
+		t.Fatal("second identical submit was not a cache hit")
+	}
+	second := fetch(url2)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cache hit served different bytes:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+
+	// Graceful drain on SIGTERM: clean exit, index intact on disk.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cpsservd did not exit cleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cpsservd did not drain within 30s of SIGTERM")
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "index.json")); err != nil {
+		t.Fatalf("store index missing after drain: %v", err)
+	}
+}
