@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-warm bench-shard bench-servd bench-smoke fuzz-smoke crash-resume shard-smoke servd-smoke clean
+.PHONY: ci vet build test race bench bench-warm bench-revised bench-shard bench-servd bench-smoke fuzz-smoke revised-smoke crash-resume shard-smoke servd-smoke clean
 
-ci: vet build race bench-smoke fuzz-smoke crash-resume shard-smoke servd-smoke
+ci: vet build race bench-smoke fuzz-smoke revised-smoke crash-resume shard-smoke servd-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,13 @@ bench-warm:
 # Shard-merge throughput report: times the full merge path (discovery,
 # CRC/partition validation, replay union) over an 8-way fleet and writes
 # BENCH_shard.json pairing ns/op with the merge validation counters.
+# Revised-simplex speedup report: benchmarks the sparse revised simplex
+# against the dense oracle on the dispatch and national-scale instances and
+# writes BENCH_revised.json pairing ns/op with the lp.revised.* pivot and
+# factorization counters.
+bench-revised:
+	BENCH_REVISED_OUT=BENCH_revised.json $(GO) test -run '^TestBenchRevised$$' -count=1 -v .
+
 bench-shard:
 	BENCH_SHARD_OUT=BENCH_shard.json $(GO) test -run '^TestBenchShard$$' -count=1 -v .
 
@@ -57,6 +64,14 @@ fuzz-smoke:
 	$(GO) test ./internal/checkpoint/ -run=^$$ -fuzz=FuzzReadJournal -fuzztime=5s
 	$(GO) test ./internal/milp/ -run=^$$ -fuzz=FuzzBranchAndBound -fuzztime=5s
 	$(GO) test ./internal/lp/ -run=^$$ -fuzz=FuzzWarmStart -fuzztime=5s
+	$(GO) test ./internal/lp/ -run=^$$ -fuzz=FuzzRevisedSimplex -fuzztime=5s
+
+# Revised-vs-dense differential smoke: the dense-oracle battery (fixtures,
+# outage sweeps, seeded random LPs, error taxonomy) plus the golden Fig. 5
+# byte-identity check under -lp-method=revised. Part of ci.
+revised-smoke:
+	$(GO) test ./internal/lp/ -run 'TestRevisedVsDenseDifferential|TestRevisedWarmAcrossMethods' -count=1
+	$(GO) test -run '^TestGoldenFig5Revised$$' -count=1 .
 
 # Crash-resume acceptance: a sweep killed mid-run and resumed from its
 # journal — including over a deliberately torn journal tail — must render
@@ -99,7 +114,7 @@ servd-smoke:
 # build products.
 clean:
 	$(GO) clean ./...
-	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen cpsservd BENCH_telemetry.json BENCH_warmstart.json BENCH_shard.json BENCH_servd.json
+	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen cpsservd BENCH_telemetry.json BENCH_warmstart.json BENCH_revised.json BENCH_shard.json BENCH_servd.json
 	rm -rf /tmp/cpsguard-shard-smoke
 	find . -name '*.journal' -not -path './results/*' -delete
 	find . -name '*.test' -delete

@@ -76,6 +76,7 @@ import (
 	"cpsguard/internal/core"
 	"cpsguard/internal/experiments"
 	"cpsguard/internal/faultinject"
+	"cpsguard/internal/lp"
 	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/shard"
@@ -113,6 +114,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /shards/* on this address (e.g. localhost:6060)")
 	solveCache := flag.Int("solve-cache", 0, "share an N-entry LRU dispatch-solve memo across all trials (0 = off); results are unchanged")
 	warmStart := flag.Bool("warm-start", false, "warm-start perturbed dispatch solves from each scenario's baseline basis")
+	lpMethod := flag.String("lp-method", "auto", "dispatch simplex implementation: auto, dense, rows, bounded, or revised")
 	shardSpec := flag.String("shard", "", "run only shard i/n of the sweep (0-based, e.g. 0/4), journaling into -shard-dir")
 	shardDir := flag.String("shard-dir", "shards", "parent directory for per-shard journals, manifests, and snapshots")
 	shardSupervise := flag.Int("shard-supervise", 0, "run the sweep as n supervised child-process shards into -shard-dir")
@@ -123,6 +125,11 @@ func main() {
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpsexp: %v\n", err)
+		os.Exit(exitUsage)
+	}
+	method, err := lp.ParseMethod(*lpMethod)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cpsexp: %v\n", err)
 		os.Exit(exitUsage)
@@ -217,6 +224,7 @@ func main() {
 		Log:       logger,
 		Cache:     cache,
 		WarmStart: *warmStart,
+		LPMethod:  method,
 	}
 	defer func() {
 		if st := cache.Stats(); st.Capacity > 0 {

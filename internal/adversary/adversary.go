@@ -75,6 +75,10 @@ type Config struct {
 	// "adversary.node" alongside the Ctx check; a returned error aborts
 	// the search, a panic exercises SolveResilient's recovery.
 	Hook func(site string) error
+	// LPMethod selects the simplex implementation for the MILP oracle's
+	// relaxations (SolveMILP and the SolveResilient fallback chain). The
+	// exact and greedy searches are combinatorial and unaffected.
+	LPMethod lp.Method
 }
 
 func (c Config) checkEvery() int {
@@ -471,7 +475,8 @@ func SolveMILP(cfg Config) (*Plan, error) {
 	}
 	p.AddConstraint(lp.Constraint{Coefs: budgetCoefs, Sense: lp.LE, RHS: in.budget})
 
-	sol, err := milp.Solve(milp.Problem{LP: p, Binary: binary}, milp.Options{Ctx: cfg.Ctx})
+	sol, err := milp.Solve(milp.Problem{LP: p, Binary: binary},
+		milp.Options{Ctx: cfg.Ctx, LP: lp.Options{Method: cfg.LPMethod}})
 	if err != nil {
 		return nil, err
 	}

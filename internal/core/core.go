@@ -27,6 +27,7 @@ import (
 	"cpsguard/internal/defense"
 	"cpsguard/internal/graph"
 	"cpsguard/internal/impact"
+	"cpsguard/internal/lp"
 	"cpsguard/internal/noise"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
@@ -83,6 +84,10 @@ type Scenario struct {
 	Cache *solvecache.Cache
 	// WarmStart re-enters dispatch solves from the baseline basis.
 	WarmStart bool
+	// LPMethod selects the dispatch simplex implementation
+	// (lp.MethodAuto, the zero value, keeps the solver's own choice;
+	// lp.MethodRevised selects the sparse revised simplex).
+	LPMethod lp.Method
 
 	truth *impact.Matrix // cached ground-truth matrix
 }
@@ -133,7 +138,7 @@ func (s *Scenario) Truth() (*impact.Matrix, error) {
 	an := &impact.Analysis{
 		Graph: s.Graph, Ownership: s.Ownership,
 		Model: s.ProfitModel, Parallel: s.Parallel,
-		Cache: s.Cache, WarmStart: s.WarmStart,
+		Cache: s.Cache, WarmStart: s.WarmStart, LPMethod: s.LPMethod,
 	}
 	m, err := an.ComputeMatrix(s.targetIDs())
 	if err != nil {
@@ -162,7 +167,7 @@ func (s *Scenario) View(sigma float64, mode NoiseMode, rs *rng.Stream) (*impact.
 		an := &impact.Analysis{
 			Graph: ng, Ownership: s.Ownership,
 			Model: s.ProfitModel, Parallel: s.Parallel,
-			Cache: s.Cache, WarmStart: s.WarmStart,
+			Cache: s.Cache, WarmStart: s.WarmStart, LPMethod: s.LPMethod,
 		}
 		return an.ComputeMatrix(s.targetIDs())
 	default:
@@ -260,7 +265,7 @@ func PlayRound(s *Scenario, cfg GameConfig) (*GameResult, error) {
 	}
 	plan, err := adversary.SolveResilient(adversary.Config{
 		Matrix: atkView, Targets: targets, Budget: cfg.AttackBudget,
-		Ctx: cfg.Ctx,
+		Ctx: cfg.Ctx, LPMethod: s.LPMethod,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: adversary: %w", err)

@@ -21,6 +21,7 @@ import (
 	"cpsguard/internal/checkpoint"
 	"cpsguard/internal/core"
 	"cpsguard/internal/graph"
+	"cpsguard/internal/lp"
 	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
@@ -97,6 +98,10 @@ type Config struct {
 	// WarmStart makes every scenario warm-start perturbed dispatches
 	// from its baseline basis.
 	WarmStart bool
+	// LPMethod selects the dispatch simplex implementation for every
+	// trial's scenario (zero value lp.MethodAuto keeps the solver's own
+	// choice; lp.MethodRevised selects the sparse revised simplex).
+	LPMethod lp.Method
 }
 
 func (c Config) graph() *graph.Graph {
@@ -156,6 +161,7 @@ func (c Config) scenarioFor(n int, trial int) *core.Scenario {
 	s.Parallel = parallel.Options{Workers: 1} // trials already parallel
 	s.Cache = c.Cache
 	s.WarmStart = c.WarmStart
+	s.LPMethod = c.LPMethod
 	return s
 }
 
@@ -233,7 +239,7 @@ func Fig3(cfg Config) (*stats.Table, error) {
 					}
 					plan, err := adversary.SolveResilient(adversary.Config{
 						Matrix: view, Targets: s.Targets, Budget: cfg.attackBudget(),
-						Ctx: ctx,
+						Ctx: ctx, LPMethod: cfg.LPMethod,
 					})
 					if err != nil {
 						return 0, err
@@ -282,7 +288,7 @@ func Fig4(cfg Config) (*stats.Table, error) {
 				}
 				plan, err := adversary.SolveResilient(adversary.Config{
 					Matrix: view, Targets: s.Targets, Budget: cfg.attackBudget(),
-					Ctx: ctx,
+					Ctx: ctx, LPMethod: cfg.LPMethod,
 				})
 				if err != nil {
 					return pair{}, err

@@ -14,11 +14,44 @@ package gridgen
 
 import (
 	"fmt"
+	"math"
 
 	"cpsguard/internal/geo"
 	"cpsguard/internal/graph"
 	"cpsguard/internal/rng"
 )
+
+// Tier selects the synthesis scale grammar.
+type Tier int8
+
+const (
+	// TierRegional is the original ring-plus-chords grammar: every region
+	// couples to its two ring neighbors plus a few random chords. The
+	// zero value, so existing configurations are unchanged.
+	TierRegional Tier = iota
+	// TierNational lays the regions out on a sparse planar mesh (a
+	// near-square grid with only nearest-neighbor corridors plus a few
+	// long-haul chords), the topology of a continent-scale interconnect.
+	// Average hub degree stays bounded as Regions grows, so a
+	// thousand-region system produces LPs whose constraint matrices are
+	// overwhelmingly sparse — the regime the revised simplex
+	// (lp.MethodRevised) is built for. A Regions count in the hundreds
+	// yields several thousand buses (each region contributes two hubs,
+	// two loads, an import terminal, and 2–4 generators).
+	TierNational
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierRegional:
+		return "regional"
+	case TierNational:
+		return "national"
+	default:
+		return fmt.Sprintf("Tier(%d)", int8(t))
+	}
+}
 
 // Config parameterizes the synthetic system.
 type Config struct {
@@ -27,11 +60,16 @@ type Config struct {
 	// Seed drives all randomized quantities (default 1).
 	Seed uint64
 	// Chords adds this many long-haul shortcut corridors per network on
-	// top of the ring (default Regions/3).
+	// top of the base topology (default Regions/3 for TierRegional,
+	// Regions/16 for TierNational).
 	Chords int
 	// Stress applies the paper's stress adjustments (capacity −25%,
 	// demand +65%).
 	Stress bool
+	// Tier selects the scale grammar (default TierRegional, the original
+	// ring-plus-chords synthesis; generation stays deterministic per
+	// (regions, seed, tier)).
+	Tier Tier
 }
 
 func (c Config) seed() uint64 {
@@ -44,6 +82,11 @@ func (c Config) seed() uint64 {
 func (c Config) chords() int {
 	if c.Chords > 0 {
 		return c.Chords
+	}
+	if c.Tier == TierNational {
+		// Long-haul ties are rare in a national mesh; the grid neighbors
+		// carry the bulk of the coupling.
+		return c.Regions / 16
 	}
 	return c.Regions / 3
 }
@@ -69,7 +112,11 @@ func Build(cfg Config) (*graph.Graph, error) {
 		return nil, fmt.Errorf("gridgen: need ≥ 2 regions, got %d", cfg.Regions)
 	}
 	rs := rng.New(cfg.seed())
-	g := graph.New(fmt.Sprintf("gridgen-%dr-seed%d", cfg.Regions, cfg.seed()))
+	name := fmt.Sprintf("gridgen-%dr-seed%d", cfg.Regions, cfg.seed())
+	if cfg.Tier == TierNational {
+		name = fmt.Sprintf("gridgen-national-%dr-seed%d", cfg.Regions, cfg.seed())
+	}
+	g := graph.New(name)
 
 	demandScale, capScale := 1.0, 1.0
 	if cfg.Stress {
@@ -77,12 +124,23 @@ func Build(cfg Config) (*graph.Graph, error) {
 	}
 
 	region := func(i int) string { return fmt.Sprintf("R%02d", i) }
-	// Regions sit on a ring; positions give distance-derived losses.
+	// TierRegional regions sit on a ring; TierNational regions on a
+	// near-square planar grid. Positions give distance-derived losses.
+	// Both layouts draw the same per-region randomness, so the regional
+	// tier's output is unchanged by the tier machinery.
+	cols := int(math.Ceil(math.Sqrt(float64(cfg.Regions))))
 	positions := make([]geo.Point, cfg.Regions)
 	for i := range positions {
-		positions[i] = geo.Point{
-			Lat: 35 + 10*rs.Float64(),
-			Lon: -120 + 2.5*float64(i) + rs.Float64(),
+		if cfg.Tier == TierNational {
+			positions[i] = geo.Point{
+				Lat: 28 + 0.45*float64(i/cols) + 0.2*rs.Float64(),
+				Lon: -125 + 0.55*float64(i%cols) + 0.2*rs.Float64(),
+			}
+		} else {
+			positions[i] = geo.Point{
+				Lat: 35 + 10*rs.Float64(),
+				Lon: -120 + 2.5*float64(i) + rs.Float64(),
+			}
 		}
 	}
 
@@ -154,22 +212,47 @@ func Build(cfg Config) (*graph.Graph, error) {
 				Capacity: cap, Loss: loss, Cost: 1.5, Kind: kind})
 		}
 	}
-	// Ring corridors for both networks.
-	for i := 0; i < cfg.Regions; i++ {
-		j := (i + 1) % cfg.Regions
-		addCorridor("elec", i, j, 80+rs.Float64()*200)
-		addCorridor("gas", i, j, 100+rs.Float64()*300)
-	}
-	// Chords (need ≥ 4 regions for a non-ring corridor to exist).
-	if cfg.Regions >= 4 {
+	if cfg.Tier == TierNational {
+		// Sparse planar mesh: only nearest-neighbor grid corridors, so
+		// hub degree stays bounded (≤ 4 per network) no matter how large
+		// the system grows.
+		for i := 0; i < cfg.Regions; i++ {
+			if (i+1)%cols != 0 && i+1 < cfg.Regions {
+				addCorridor("elec", i, i+1, 80+rs.Float64()*200)
+				addCorridor("gas", i, i+1, 100+rs.Float64()*300)
+			}
+			if i+cols < cfg.Regions {
+				addCorridor("elec", i, i+cols, 80+rs.Float64()*200)
+				addCorridor("gas", i, i+cols, 100+rs.Float64()*300)
+			}
+		}
+		// A few long-haul interties between random far-apart regions.
 		for c := 0; c < cfg.chords(); c++ {
-			a := rs.Intn(cfg.Regions)
-			b := (a + 2 + rs.Intn(cfg.Regions-3)) % cfg.Regions
+			a, b := rs.Intn(cfg.Regions), rs.Intn(cfg.Regions)
 			if a == b {
 				continue
 			}
 			addCorridor("elec", a, b, 60+rs.Float64()*150)
 			addCorridor("gas", a, b, 80+rs.Float64()*200)
+		}
+	} else {
+		// Ring corridors for both networks.
+		for i := 0; i < cfg.Regions; i++ {
+			j := (i + 1) % cfg.Regions
+			addCorridor("elec", i, j, 80+rs.Float64()*200)
+			addCorridor("gas", i, j, 100+rs.Float64()*300)
+		}
+		// Chords (need ≥ 4 regions for a non-ring corridor to exist).
+		if cfg.Regions >= 4 {
+			for c := 0; c < cfg.chords(); c++ {
+				a := rs.Intn(cfg.Regions)
+				b := (a + 2 + rs.Intn(cfg.Regions-3)) % cfg.Regions
+				if a == b {
+					continue
+				}
+				addCorridor("elec", a, b, 60+rs.Float64()*150)
+				addCorridor("gas", a, b, 80+rs.Float64()*200)
+			}
 		}
 	}
 

@@ -90,6 +90,13 @@ func (a *Analysis) salt() string {
 		// cache shared across differently configured Analyses stays exact.
 		h.Write([]byte{2})
 	}
+	if a.LPMethod != lp.MethodAuto {
+		// Same reasoning per simplex implementation: methods agree within
+		// tolerance, not bit for bit, so each gets its own entry family.
+		// MethodAuto writes nothing, keeping pre-existing cache keys (and
+		// the stores built on them) byte-identical.
+		h.Write([]byte{3, byte(a.LPMethod)})
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -139,6 +146,7 @@ func (a *Analysis) ofCached(salt string, base baselineState, ps []Perturbation) 
 		return nil, 0, err
 	}
 	var opts flow.Options
+	opts.LP.Method = a.LPMethod
 	if a.WarmStart {
 		opts.LP.WarmStart = base.basis
 	}

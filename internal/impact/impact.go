@@ -18,6 +18,7 @@ import (
 	"cpsguard/internal/actors"
 	"cpsguard/internal/flow"
 	"cpsguard/internal/graph"
+	"cpsguard/internal/lp"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/solvecache"
 )
@@ -108,6 +109,13 @@ type Analysis struct {
 	// basis instead of solving two-phase from scratch. Results agree with
 	// cold solves within solver tolerance.
 	WarmStart bool
+	// LPMethod selects the simplex implementation for every dispatch this
+	// analysis performs (lp.MethodAuto lets the solver pick, as before).
+	// lp.MethodRevised switches to the sparse revised simplex; results
+	// agree with the dense method within solver tolerance, and cache
+	// entries are salted per method so differently configured Analyses
+	// sharing one cache never alias.
+	LPMethod lp.Method
 }
 
 func (a *Analysis) model() actors.ProfitModel {
@@ -120,7 +128,7 @@ func (a *Analysis) model() actors.ProfitModel {
 // Baseline dispatches the unperturbed system and returns its per-actor
 // profits and welfare.
 func (a *Analysis) Baseline() (actors.Profits, *flow.Result, error) {
-	r, err := flow.Dispatch(a.Graph)
+	r, err := flow.DispatchOpts(a.Graph, flow.Options{LP: lp.Options{Method: a.LPMethod}})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -15,6 +15,7 @@
 package lp
 
 import (
+	"fmt"
 	"math"
 )
 
@@ -32,7 +33,18 @@ const (
 	// MethodBounded keeps upper bounds implicit in the pivot rules
 	// (smaller basis; ~7× faster on the westgrid dispatch LP).
 	MethodBounded
+	// MethodRevised is the sparse revised simplex (revised.go): CSC column
+	// storage, LU-factorized basis with product-form eta updates, sparse
+	// FTRAN/BTRAN and partial pricing. Same standard form and pivot rules
+	// as MethodBounded, O(nnz) per pivot instead of O(m·nTotal) — the only
+	// method that scales to the national gridgen tier.
+	MethodRevised
 )
+
+// MethodDense is an alias for MethodAuto: the dense solver family (rows or
+// bounded tableau, auto-selected). It names the differential oracle the
+// revised method is tested against.
+const MethodDense = MethodAuto
 
 // String implements fmt.Stringer.
 func (m Method) String() string {
@@ -43,9 +55,27 @@ func (m Method) String() string {
 		return "rows"
 	case MethodBounded:
 		return "bounded"
+	case MethodRevised:
+		return "revised"
 	default:
 		return "Method(?)"
 	}
+}
+
+// ParseMethod maps a CLI flag value to a Method. The empty string, "auto"
+// and "dense" all select the dense auto-picked family.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "", "auto", "dense":
+		return MethodAuto, nil
+	case "rows":
+		return MethodRows, nil
+	case "bounded":
+		return MethodBounded, nil
+	case "revised":
+		return MethodRevised, nil
+	}
+	return MethodAuto, fmt.Errorf("lp: unknown method %q (want auto|dense|rows|bounded|revised)", s)
 }
 
 // resolve maps MethodAuto to a concrete method for problem p.

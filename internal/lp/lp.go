@@ -313,8 +313,11 @@ func (p *Problem) SolveOpts(opts Options) (sol *Solution, err error) {
 			sol, err = nil, p.solveErr("pivot-loop", Optimal, 0, fmt.Errorf("recovered panic: %v", r))
 		}
 	}()
-	if opts.Method.resolve(p) == MethodBounded {
+	switch opts.Method.resolve(p) {
+	case MethodBounded:
 		return solveBounded(p, opts, g)
+	case MethodRevised:
+		return solveRevised(p, opts, g)
 	}
 	t, err := newTableau(p, opts)
 	if err != nil {

@@ -21,10 +21,12 @@
 // the result, and the lp.warm_*/lp.cold_pivots counters attribute pivot
 // work to each path.
 //
-// Only MethodBounded solves export a reusable basis (the rows method lowers
-// bounds onto rows, so its basis does not transfer across bound changes); a
-// basis from another method or with mismatched dimensions is rejected into
-// the cold path rather than erroring.
+// Only the bounded-layout methods — MethodBounded and MethodRevised, which
+// share the standard-form column layout by construction — export a reusable
+// basis (the rows method lowers bounds onto rows, so its basis does not
+// transfer across bound changes). Bases transfer freely between the two
+// bounded-layout methods; a basis from another method or with mismatched
+// dimensions is rejected into the cold path rather than erroring.
 package lp
 
 import "math"
@@ -110,7 +112,7 @@ func solveBoundedWarm(p *Problem, opts Options, g *guard) (*Solution, error, boo
 // feasibility under the current bounds. Returns false when the basis cannot
 // be applied; the tableau must then be discarded.
 func (t *boundedTableau) applyWarmBasis(b *Basis) bool {
-	if b == nil || b.method != MethodBounded ||
+	if b == nil || (b.method != MethodBounded && b.method != MethodRevised) ||
 		b.n != t.n || b.m != t.m || b.nTotal != t.nTotal ||
 		len(b.rows) != t.m || len(b.status) != t.nTotal {
 		return false
@@ -119,10 +121,14 @@ func (t *boundedTableau) applyWarmBasis(b *Basis) bool {
 	for j, st := range b.status {
 		switch st {
 		case inBasis:
+			// A basic artificial is fine: degenerate dispatch optima
+			// legitimately finish with an artificial basic at value zero,
+			// and the upper clamp below plus the primal feasibility check
+			// pin it there. Rejecting such bases made nearly half of all
+			// structurally identical re-solves fall back to the cold path
+			// (the lp.warm_fallbacks regression; see
+			// TestWarmStartDegenerateArtificialBasis).
 			inBasisCount++
-			if t.art[j] {
-				return false // artificial in the basis: not a clean optimum
-			}
 		case atUpper:
 			if math.IsInf(t.upper[j], 1) {
 				return false // bound vanished; the status is meaningless

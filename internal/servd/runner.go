@@ -16,6 +16,7 @@ import (
 	"cpsguard/internal/cli"
 	"cpsguard/internal/core"
 	"cpsguard/internal/experiments"
+	"cpsguard/internal/lp"
 	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/solvecache"
@@ -52,6 +53,12 @@ type ExperimentRunner struct {
 	Cache *solvecache.Cache
 	// WarmStart re-enters perturbed dispatch solves from baseline bases.
 	WarmStart bool
+	// LPMethod selects the dispatch simplex implementation for every run
+	// (zero value lp.MethodAuto keeps the solver's own choice). Like
+	// WarmStart it is server configuration, not scenario content: it does
+	// not enter the scenario key, and the dispatch-solve cache salts its
+	// entries per method so mixed-method processes never alias.
+	LPMethod lp.Method
 	// Hook, when non-nil, is the fault-injection site consulted before
 	// every trial ("experiments.trial") — the chaos path through the
 	// HTTP API.
@@ -90,6 +97,7 @@ func (r *ExperimentRunner) Run(ctx context.Context, sc ScenarioConfig, dir strin
 		Log:                 run.Log,
 		Cache:               r.Cache,
 		WarmStart:           r.WarmStart,
+		LPMethod:            r.LPMethod,
 	}
 	if sc.Quick {
 		// Identical to cpsexp -quick, so quick scenarios served here are
