@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-warm bench-revised bench-shard bench-servd bench-smoke fuzz-smoke revised-smoke crash-resume shard-smoke servd-smoke clean
+.PHONY: ci vet build test race bench bench-warm bench-revised bench-shard bench-servd bench-obs bench-smoke fuzz-smoke revised-smoke crash-resume shard-smoke servd-smoke obs-smoke clean
 
-ci: vet build race bench-smoke fuzz-smoke revised-smoke crash-resume shard-smoke servd-smoke
+ci: vet build race bench-smoke fuzz-smoke revised-smoke crash-resume shard-smoke servd-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +49,12 @@ bench-shard:
 # and writes BENCH_servd.json pairing ns/op with the service counters.
 bench-servd:
 	BENCH_SERVD_OUT=BENCH_servd.json $(GO) test -run '^TestBenchServd$$' -count=1 -v .
+
+# Observability-layer report: times the Prometheus exposition render (the
+# per-scrape cost) and the fleet trace merge, writing BENCH_obs.json in the
+# cpsguard-bench/v1 envelope.
+bench-obs:
+	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -run '^TestBenchObs$$' -count=1 -v .
 
 # One-iteration pass over every benchmark: catches benchmarks that no longer
 # compile or panic, without paying for a timed run. Part of ci.
@@ -109,12 +115,21 @@ servd-smoke:
 	$(GO) test ./internal/servd/ -count=1
 	$(GO) test -run '^TestServdSmoke$$' -count=1 .
 
+# Fleet observability acceptance: metric-name lint and strict-exposition
+# round-trip over the live default registry, the trace-context/merge and
+# Prometheus unit batteries, then an end-to-end binary check — a 2-shard
+# supervised run whose per-process traces cpsreport stitches into one fleet
+# timeline with every cross-process parent link resolved.
+obs-smoke:
+	$(GO) test ./internal/telemetry/ -count=1
+	$(GO) test -run 'TestMetricNames|TestDefaultRegistryExposition|TestObsSmoke' -count=1 .
+
 # Remove build and scratch artifacts. The reference CSVs committed under
 # results/ are deliberately preserved: they are reviewed outputs, not
 # build products.
 clean:
 	$(GO) clean ./...
-	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen cpsservd BENCH_telemetry.json BENCH_warmstart.json BENCH_revised.json BENCH_shard.json BENCH_servd.json
+	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen cpsservd BENCH_telemetry.json BENCH_warmstart.json BENCH_revised.json BENCH_shard.json BENCH_servd.json BENCH_obs.json
 	rm -rf /tmp/cpsguard-shard-smoke
 	find . -name '*.journal' -not -path './results/*' -delete
 	find . -name '*.test' -delete

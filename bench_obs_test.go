@@ -1,0 +1,147 @@
+// Observability-layer benchmark report: `make bench-obs` runs TestBenchObs
+// with BENCH_OBS_OUT set, which times the Prometheus exposition render (the
+// per-scrape cost every debug-mux scrape pays) and the fleet trace merge,
+// and writes BENCH_obs.json (same cpsguard-bench/v1 envelope as
+// BENCH_telemetry.json) so scrape-path and merge-path regressions land in
+// one reviewable file.
+package cpsguard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cpsguard/internal/atomicio"
+	"cpsguard/internal/telemetry"
+)
+
+// benchObsRegistry builds a registry shaped like a real sweep's: a few dozen
+// counters and a handful of populated histograms/timings.
+func benchObsRegistry() *telemetry.Registry {
+	r := telemetry.NewRegistry()
+	for i := 0; i < 40; i++ {
+		r.Counter(fmt.Sprintf("bench.counter_%02d", i)).Add(int64(i * 17))
+	}
+	for i := 0; i < 4; i++ {
+		h := r.Histogram(fmt.Sprintf("bench.hist_%d", i), telemetry.WorkEdges)
+		tm := r.Timing(fmt.Sprintf("bench.timing_%d_ns", i))
+		for v := int64(1); v < 1_000_000; v *= 3 {
+			h.Observe(v)
+			tm.Observe(v)
+		}
+	}
+	return r
+}
+
+// BenchmarkPromExposition times one full exposition render — snapshot plus
+// deterministic text encoding — of a sweep-sized registry.
+func BenchmarkPromExposition(b *testing.B) {
+	r := benchObsRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.PrometheusText()) == 0 {
+			b.Fatal("empty exposition")
+		}
+	}
+}
+
+// benchFleetTraces builds an n-process fleet of linked Chrome traces, each
+// with spansPer spans, for the merge benchmark.
+func benchFleetTraces(tb testing.TB, n, spansPer int) []*telemetry.ChromeTrace {
+	tb.Helper()
+	tick := func(r *telemetry.Registry) {
+		c := 0
+		r.SetClock(func() time.Time {
+			c++
+			return time.Unix(0, int64(c)*int64(time.Millisecond))
+		})
+	}
+	parent := telemetry.NewRegistry()
+	tick(parent)
+	parent.EnableTracing(true)
+	parent.SetSpanCapacity(spansPer + 8)
+	root := parent.StartSpan("shard.supervise", "bench")
+	traces := make([]*telemetry.ChromeTrace, 0, n)
+	for i := 1; i < n; i++ {
+		launch := parent.StartSpan("shard.child", fmt.Sprintf("%d", i))
+		tc, ok := parent.ChildTraceContext(launch)
+		if !ok {
+			tb.Fatal("no child trace context")
+		}
+		child := telemetry.NewRegistry()
+		tick(child)
+		child.SetTraceContext(tc)
+		child.EnableTracing(true)
+		child.SetSpanCapacity(spansPer + 8)
+		for k := 0; k < spansPer; k++ {
+			child.StartSpan("experiments.trial", fmt.Sprintf("t%d", k)).End()
+		}
+		launch.End()
+		snap := child.Snapshot(telemetry.SnapshotOptions{Spans: true})
+		snap.PID = 1000 + i
+		traces = append(traces, snap.ChromeTrace())
+	}
+	root.End()
+	snap := parent.Snapshot(telemetry.SnapshotOptions{Spans: true})
+	snap.PID = 1000
+	return append([]*telemetry.ChromeTrace{snap.ChromeTrace()}, traces...)
+}
+
+// BenchmarkTraceMerge times stitching an 8-process fleet (250 spans per
+// child) into one timeline, including link validation.
+func BenchmarkTraceMerge(b *testing.B) {
+	traces := benchFleetTraces(b, 8, 250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := telemetry.MergeChromeTraces(traces)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.UnresolvedParents != 0 {
+			b.Fatalf("%d unresolved parents", stats.UnresolvedParents)
+		}
+	}
+}
+
+// TestBenchObs is gated by BENCH_OBS_OUT: unset, it skips; set, it runs the
+// observability benchmarks and writes the JSON report to that path.
+func TestBenchObs(t *testing.T) {
+	out := os.Getenv("BENCH_OBS_OUT")
+	if out == "" {
+		t.Skip("set BENCH_OBS_OUT=path to run the observability benchmarks")
+	}
+	report := benchTelemetryReport{
+		Schema:     benchSchema,
+		GoVersion:  runtime.Version(),
+		Platform:   runtime.GOOS + "/" + runtime.GOARCH,
+		Benchmarks: map[string]benchTelemetryEntry{},
+	}
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"PromExposition", BenchmarkPromExposition},
+		{"TraceMerge", BenchmarkTraceMerge},
+	} {
+		r := testing.Benchmark(bench.fn)
+		report.Benchmarks[bench.name] = benchTelemetryEntry{
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		t.Logf("%s: %d iter, %d ns/op", bench.name, r.N, r.NsPerOp())
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := atomicio.MkdirAllAndWrite(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d bytes)", out, len(data))
+}

@@ -33,7 +33,7 @@ func main() {
 	ps := flag.Float64("ps", 1, "uniform attack success probability")
 	mode := flag.String("mode", "graph", "noise mode: graph (faithful) or matrix (fast)")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics/prom, /debug/vars and /debug/pprof on this address")
 	solveCache := flag.Int("solve-cache", 0, "memoize dispatch solves in an N-entry LRU cache (0 = off); results are unchanged")
 	warmStart := flag.Bool("warm-start", false, "warm-start perturbed dispatch solves from the baseline basis")
 	lpMethod := flag.String("lp-method", "auto", "dispatch simplex implementation: auto, dense, rows, bounded, or revised")

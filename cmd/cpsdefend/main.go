@@ -34,7 +34,7 @@ func main() {
 	samples := flag.Int("pa-samples", 16, "speculated-SA samples for Pa estimation")
 	mode := flag.String("mode", "graph", "noise mode: graph or matrix")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics/prom, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
 	logger := obs.New("cpsdefend", obs.Sink{W: os.Stderr, Format: obs.Text, Min: obs.LevelInfo})

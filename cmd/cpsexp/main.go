@@ -53,8 +53,8 @@
 // histograms — deterministic for a fixed seed and configuration) to a JSON
 // file at sweep end; -trace additionally collects per-solve span traces and
 // includes them plus the wall-clock timing histograms in the dump.
-// -debug-addr serves live /metrics, /debug/vars and /debug/pprof endpoints
-// while the sweep runs.
+// -debug-addr serves live /metrics (JSON), /metrics/prom (Prometheus
+// exposition), /debug/vars and /debug/pprof endpoints while the sweep runs.
 //
 // Exit codes: 0 success; 1 fatal error; 2 usage; 3 the sweep completed but
 // at least one trial was abandoned after exhausting its retries (the
@@ -111,7 +111,7 @@ func main() {
 	logLevel := flag.String("log-level", "info", "stderr log verbosity: debug, info, warn, or error")
 	metricsPath := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at sweep end")
 	trace := flag.Bool("trace", false, "collect per-solve span traces and include them (plus wall-clock timings) in -metrics")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /shards/* on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics/prom, /debug/vars, /debug/pprof and /shards/* on this address (e.g. localhost:6060)")
 	solveCache := flag.Int("solve-cache", 0, "share an N-entry LRU dispatch-solve memo across all trials (0 = off); results are unchanged")
 	warmStart := flag.Bool("warm-start", false, "warm-start perturbed dispatch solves from each scenario's baseline basis")
 	lpMethod := flag.String("lp-method", "auto", "dispatch simplex implementation: auto, dense, rows, bounded, or revised")
@@ -184,8 +184,14 @@ func main() {
 		if err := os.MkdirAll(*shardDir, 0o755); err != nil {
 			fatal(err)
 		}
-		report, supErr := superviseShards(ctx, *shardSupervise, *shardDir, reportURL,
+		// The supervise root span anchors the fleet trace: every shard.child
+		// launch parents under it, and every child process links back to its
+		// launch span through the inherited traceparent.
+		supSpan, supCtx := telemetry.Default().StartSpanCtx(ctx,
+			"shard.supervise", fmt.Sprintf("%d shards", *shardSupervise))
+		report, supErr := superviseShards(supCtx, *shardSupervise, *shardDir, reportURL,
 			*shardStall, *shardRestarts, *seed, logger)
+		supSpan.End()
 		if report != nil {
 			for _, s := range report.Shards {
 				logger.Info("shard supervised", obs.F("shard", s.Index),

@@ -135,7 +135,9 @@ func (s *shardRun) startReporting() {
 }
 
 func (s *shardRun) post() {
-	snap := telemetry.Default().Snapshot(telemetry.SnapshotOptions{})
+	// Timings ride along so the supervisor's rollup can merge fleet latency
+	// distributions, not just counters.
+	snap := telemetry.Default().Snapshot(telemetry.SnapshotOptions{Timings: true})
 	if err := shard.PostSnapshot(s.reportURL, s.Assignment.Spec(), snap); err != nil {
 		s.log.Debug("snapshot post failed", obs.F("url", s.reportURL), obs.F("err", err))
 	}
@@ -161,8 +163,17 @@ func (s *shardRun) finish(completed bool, runErr error, abandoned int) error {
 		return err
 	}
 	if err := telemetry.Default().WriteSnapshot(
-		filepath.Join(s.Dir, shard.MetricsName), telemetry.SnapshotOptions{}); err != nil {
+		filepath.Join(s.Dir, shard.MetricsName), telemetry.SnapshotOptions{Timings: true}); err != nil {
 		return err
+	}
+	// When this shard inherited (or started) a trace, leave its span tree in
+	// the shard dir; cpsreport -trace-merge stitches the per-shard files plus
+	// the supervisor's own trace.json into one fleet timeline.
+	if telemetry.Default().Tracing() {
+		if err := telemetry.Default().WriteChromeTrace(
+			filepath.Join(s.Dir, "trace.json")); err != nil {
+			s.log.Warn("shard trace not written", obs.F("err", err))
+		}
 	}
 	s.Manifest.StampJournal(s.Dir)
 	if err := s.Manifest.Write(s.Dir); err != nil {
@@ -179,12 +190,14 @@ func (s *shardRun) finish(completed bool, runErr error, abandoned int) error {
 
 // execHandle adapts a child cpsexp process to shard.Handle.
 type execHandle struct {
-	cmd *exec.Cmd
-	log *obs.Logger
+	cmd  *exec.Cmd
+	log  *obs.Logger
+	span *telemetry.Span
 }
 
 func (h *execHandle) Wait() error {
 	err := h.cmd.Wait()
+	h.span.End()
 	var exitErr *exec.ExitError
 	if errors.As(err, &exitErr) && exitErr.ExitCode() == exitAbandonedTrials {
 		// The shard finished its sweep; some trials were abandoned after
@@ -245,10 +258,19 @@ func superviseShards(ctx context.Context, count int, parentDir, reportURL string
 			cmd := exec.CommandContext(ctx, bin, childArgs(index, count, parentDir, reportURL)...)
 			cmd.Stdout = os.Stderr // children print no tables; anything else is diagnostics
 			cmd.Stderr = os.Stderr
+			// One span per launch attempt, parented under the supervise root
+			// threaded through ctx; the child inherits the trace through the
+			// environment, so its spans link back to this one in the merged
+			// fleet timeline.
+			sp, _ := telemetry.Default().StartSpanCtx(ctx,
+				"shard.child", fmt.Sprintf("%d/%d attempt %d", index, count, attempt))
+			cmd.Env = childEnv(os.Environ(), sp)
 			if err := cmd.Start(); err != nil {
+				sp.End()
 				return nil, err
 			}
-			return &execHandle{cmd: cmd, log: log.WithStage(fmt.Sprintf("shard %d/%d", index, count))}, nil
+			return &execHandle{cmd: cmd, span: sp,
+				log: log.WithStage(fmt.Sprintf("shard %d/%d", index, count))}, nil
 		},
 		Progress: func(index int) int64 {
 			a := shard.Assignment{Index: index, Count: count}
@@ -270,6 +292,22 @@ func superviseShards(ctx context.Context, count int, parentDir, reportURL string
 		}
 	}
 	return report, runErr
+}
+
+// childEnv builds a child shard's environment: the parent's, minus any
+// stale trace inheritance, plus a traceparent naming sp when tracing is on
+// (cli.StartRun in the child adopts it).
+func childEnv(environ []string, sp *telemetry.Span) []string {
+	env := environ[:0:0]
+	for _, kv := range environ {
+		if !strings.HasPrefix(kv, telemetry.TraceParentEnv+"=") {
+			env = append(env, kv)
+		}
+	}
+	if tc, ok := telemetry.Default().ChildTraceContext(sp); ok {
+		env = append(env, telemetry.TraceParentEnv+"="+tc.TraceParent())
+	}
+	return env
 }
 
 func writeSupervisorReport(parentDir string, report *shard.Report) error {

@@ -28,7 +28,7 @@ func main() {
 	nActors := flag.Int("actors", 0, "divide profits among N random actors (0 = skip)")
 	seed := flag.Uint64("seed", 1, "ownership random seed")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics/prom, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
 	logger := obs.New("cpsflow", obs.Sink{W: os.Stderr, Format: obs.Text, Min: obs.LevelInfo})

@@ -35,7 +35,7 @@ func main() {
 	obsDir := flag.String("obs", "", "observability directory: events.jsonl plus metrics/trace/manifest at exit (see cpsreport)")
 	logLevel := flag.String("log-level", "info", "stderr log verbosity: debug, info, warn, or error")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics/prom, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)

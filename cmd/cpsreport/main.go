@@ -9,11 +9,16 @@
 //
 //	cpsreport -run DIR [-o report.md] [-journal FILE]
 //	cpsreport -run DIR -diff DIR2
+//	cpsreport -trace-merge DIR [-o trace-fleet.json]
 //
 // -diff compares two run directories instead: manifest differences (seed,
 // flags, config and artifact digests) plus deltas over the deterministic
 // telemetry counters, so two runs of the same seeded sweep can be checked
 // for behavioral drift artifact-by-artifact.
+//
+// -trace-merge stitches every per-process trace.json under DIR (the
+// supervisor's plus one per shard) into a single fleet timeline; see
+// tracemerge.go.
 //
 // Only manifest.json is required; every other artifact degrades to a
 // "missing" note so a crashed run still yields a report.
@@ -41,8 +46,18 @@ func main() {
 	diffDir := flag.String("diff", "", "second run directory: compare instead of report")
 	journalPath := flag.String("journal", "", "checkpoint journal to join trials against (default: auto-detect from the manifest)")
 	out := flag.String("o", "", "write the report to this file (default stdout)")
+	traceMerge := flag.String("trace-merge", "", "merge every trace.json under this directory into one fleet timeline")
 	flag.Parse()
 
+	if *traceMerge != "" {
+		summary, err := mergeTraces(*traceMerge, *out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpsreport: -trace-merge: %v\n", err)
+			os.Exit(1)
+		}
+		cli.MustWrite(os.Stdout, "stdout", []byte(summary))
+		return
+	}
 	if *runDir == "" {
 		fmt.Fprintln(os.Stderr, "cpsreport: -run DIR is required")
 		flag.Usage()

@@ -1,0 +1,99 @@
+// Fleet trace stitching: -trace-merge DIR walks a sharded run directory
+// (the supervisor's -obs dir and/or -shard-dir), collects every trace.json
+// it finds — the supervisor's own plus one per shard — and merges them into
+// a single Chrome trace_event timeline on a shared clock, with each process
+// on its own track and cross-process parent links resolved by global span
+// ID. The merged file opens in Perfetto / chrome://tracing as one fleet
+// view.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cpsguard/internal/atomicio"
+	"cpsguard/internal/telemetry"
+)
+
+// discoverTraces returns the sorted trace.json paths under root (at any
+// depth, so both DIR/trace.json and DIR/shard-000-of-002/trace.json are
+// found).
+func discoverTraces(root string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && d.Name() == "trace.json" {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// mergeTraces stitches every trace.json under root into outPath (default
+// root/trace-fleet.json) and returns a one-paragraph summary for stdout.
+func mergeTraces(root, outPath string) (string, error) {
+	paths, err := discoverTraces(root)
+	if err != nil {
+		return "", err
+	}
+	if len(paths) == 0 {
+		return "", fmt.Errorf("no trace.json under %s (run with -obs and tracing enabled)", root)
+	}
+	var traces []*telemetry.ChromeTrace
+	var sources []string
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		tr, err := telemetry.ReadChromeTrace(data)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", p, err)
+		}
+		traces = append(traces, tr)
+		rel, rerr := filepath.Rel(root, p)
+		if rerr != nil {
+			rel = p
+		}
+		sources = append(sources, rel)
+	}
+	merged, stats, err := telemetry.MergeChromeTraces(traces)
+	if err != nil {
+		return "", err
+	}
+	if outPath == "" {
+		outPath = filepath.Join(root, "trace-fleet.json")
+	}
+	data, err := merged.MarshalIndented()
+	if err != nil {
+		return "", err
+	}
+	if err := atomicio.MkdirAllAndWrite(outPath, data, 0o644); err != nil {
+		return "", err
+	}
+	summary := fmt.Sprintf(
+		"merged %d trace file(s) (%s) into %s:\n"+
+			"  %d span(s) across %d process(es), %d parent link(s) (%d cross-process), %d unresolved\n",
+		stats.Files, strings.Join(sources, ", "), outPath,
+		stats.Spans, len(stats.PIDs), stats.Links, stats.CrossProcessLinks,
+		stats.UnresolvedParents)
+	if stats.PIDRemaps > 0 {
+		summary += fmt.Sprintf("  %d colliding pid(s) remapped\n", stats.PIDRemaps)
+	}
+	if len(stats.TraceIDs) != 1 {
+		summary += fmt.Sprintf("  warning: %d distinct trace IDs — these files are not one fleet run\n",
+			len(stats.TraceIDs))
+	}
+	return summary, nil
+}

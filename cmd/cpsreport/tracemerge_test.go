@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cpsguard/internal/telemetry"
+)
+
+// writeTrace renders a registry's trace into dir/trace.json the way a run
+// bundle would.
+func writeTrace(t *testing.T, dir string, r *telemetry.Registry) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := r.Snapshot(telemetry.SnapshotOptions{Spans: true}).ChromeTrace().MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "trace.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceMergeCommand(t *testing.T) {
+	// A two-process fixture shaped like a real supervised run: the parent's
+	// trace.json at the root, the child's inside a shard subdirectory,
+	// linked by an inherited trace context.
+	base := time.Unix(100, 0)
+	tick := func(r *telemetry.Registry) {
+		n := 0
+		r.SetClock(func() time.Time {
+			n++
+			return base.Add(time.Duration(n) * time.Millisecond)
+		})
+	}
+	parent := telemetry.NewRegistry()
+	tick(parent)
+	parent.EnableTracing(true)
+	parent.SetLabel("cpsexp supervise")
+	root := parent.StartSpan("shard.supervise", "1 shards")
+	launch := parent.StartSpan("shard.child", "0/1 attempt 0")
+	tc, ok := parent.ChildTraceContext(launch)
+	if !ok {
+		t.Fatal("no child trace context")
+	}
+	child := telemetry.NewRegistry()
+	tick(child)
+	child.SetTraceContext(tc)
+	child.EnableTracing(true)
+	child.SetLabel("cpsexp")
+	sp := child.StartSpan("experiments.trial", "t0")
+	sp.End()
+	launch.End()
+	root.End()
+
+	dir := t.TempDir()
+	writeTrace(t, dir, parent)
+	writeTrace(t, filepath.Join(dir, "shard-000-of-001"), child)
+
+	summary, err := mergeTraces(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "merged 2 trace file(s)") {
+		t.Fatalf("summary: %s", summary)
+	}
+	if strings.Contains(summary, "distinct trace IDs") {
+		t.Fatalf("one fleet run flagged as mixed traces: %s", summary)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "trace-fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := telemetry.ReadChromeTrace(data)
+	if err != nil {
+		t.Fatalf("merged trace unreadable: %v", err)
+	}
+	stats, err := telemetry.ValidateTraceLinks(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both fixtures ran in this test process, so the merge had to remap the
+	// colliding PID into two distinct tracks.
+	if len(stats.PIDs) != 2 {
+		t.Fatalf("pids = %v, want 2 distinct", stats.PIDs)
+	}
+	if stats.CrossProcessLinks != 1 {
+		t.Fatalf("cross-process links = %d, want 1 (child trial → launch span)",
+			stats.CrossProcessLinks)
+	}
+	if stats.UnresolvedParents != 0 {
+		t.Fatalf("unresolved parents = %d", stats.UnresolvedParents)
+	}
+}
+
+func TestTraceMergeEmptyDir(t *testing.T) {
+	if _, err := mergeTraces(t.TempDir(), ""); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}

@@ -11,7 +11,7 @@
 //	         [-deadline D] [-max-deadline D] [-retries N]
 //	         [-breaker-fails N] [-breaker-cooldown D]
 //	         [-solve-cache N] [-warm-start] [-lp-method M] [-run-workers N]
-//	         [-drain-timeout D] [-chaos RATE]
+//	         [-drain-timeout D] [-chaos RATE] [-trace]
 //	         [-debug-addr ADDR] [-log-level LEVEL]
 //
 // Endpoints:
@@ -53,6 +53,7 @@ import (
 	"cpsguard/internal/obs"
 	"cpsguard/internal/servd"
 	"cpsguard/internal/solvecache"
+	"cpsguard/internal/telemetry"
 )
 
 const (
@@ -77,7 +78,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful-drain budget on SIGTERM before in-flight runs are canceled")
 	chaosRate := flag.Float64("chaos", 0, "fail this fraction of trials with an injected transient error (resilience testing)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for -chaos fault injection")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
+	traceFlag := flag.Bool("trace", false, "record request/run spans and emit Traceparent response headers")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics/prom, /debug/vars, /debug/pprof on this address")
 	logLevel := flag.String("log-level", "info", "stderr log verbosity: debug, info, warn, or error")
 	flag.Parse()
 
@@ -96,6 +98,20 @@ func main() {
 		os.Exit(exitUsage)
 	}
 	logger := obs.New("cpsservd", obs.Sink{W: os.Stderr, Format: obs.Text, Min: lvl})
+
+	telemetry.Default().SetLabel("cpsservd")
+	if *traceFlag {
+		telemetry.Default().EnableTracing(true)
+		telemetry.Default().SetSpanCapacity(cli.RunSpanCapacity)
+	}
+	// A tracing supervisor hands its trace context down through the
+	// environment; adopting it makes this server's request spans part of the
+	// caller's fleet trace even without a local -trace.
+	if tc, ok := telemetry.TraceContextFromEnv(); ok {
+		telemetry.Default().SetTraceContext(tc)
+		telemetry.Default().EnableTracing(true)
+		telemetry.Default().SetSpanCapacity(cli.RunSpanCapacity)
+	}
 
 	store, rep, err := servd.Open(*storeDir)
 	if err != nil {

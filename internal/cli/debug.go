@@ -10,8 +10,9 @@ import (
 	"cpsguard/internal/telemetry"
 )
 
-// StartDebug starts telemetry's debug HTTP endpoint (/metrics, /debug/vars,
-// /debug/pprof) when addr is non-empty and returns a shutdown func. An empty
+// StartDebug starts telemetry's debug HTTP endpoint (/metrics,
+// /metrics/prom, /debug/vars, /debug/pprof) when addr is non-empty and
+// returns a shutdown func. An empty
 // addr is a no-op. The bound address is logged so ":0" is usable. A nil
 // logger is tolerated (events are dropped); a bind failure is fatal — the
 // operator asked for an endpoint the process cannot provide.
@@ -34,7 +35,7 @@ func StartDebugWith(addr string, log *obs.Logger, register func(mux *http.ServeM
 		os.Exit(1)
 	}
 	log.Info("debug endpoint listening",
-		obs.F("url", "http://"+bound), obs.F("paths", "/metrics /debug/vars /debug/pprof"))
+		obs.F("url", "http://"+bound), obs.F("paths", "/metrics /metrics/prom /debug/vars /debug/pprof"))
 	return bound, func() { srv.Close() }
 }
 

@@ -77,7 +77,17 @@ func StartRun(opts RunOptions) *Run {
 			sinks = append(sinks, obs.Sink{W: f, Format: obs.JSONL, Min: obs.LevelDebug})
 		}
 	}
+	telemetry.Default().SetLabel(opts.Tool)
 	if opts.Dir != "" || opts.Trace {
+		telemetry.Default().EnableTracing(true)
+		telemetry.Default().SetSpanCapacity(RunSpanCapacity)
+	}
+	// A supervising parent (cpsexp -shard-supervise) hands its trace context
+	// down through the environment; adopting it makes this process's spans
+	// part of the fleet trace, so tracing turns on even without a local
+	// artifact dir — the parent's merge step collects the spans.
+	if tc, ok := telemetry.TraceContextFromEnv(); ok {
+		telemetry.Default().SetTraceContext(tc)
 		telemetry.Default().EnableTracing(true)
 		telemetry.Default().SetSpanCapacity(RunSpanCapacity)
 	}

@@ -4,7 +4,11 @@
 // in-loop (they fire at most once per simplex call).
 package lp
 
-import "cpsguard/internal/telemetry"
+import (
+	"strings"
+
+	"cpsguard/internal/telemetry"
+)
 
 var (
 	mSolves        = telemetry.NewCounter("lp.solves")
@@ -46,7 +50,11 @@ var (
 		out := map[Status]*telemetry.Counter{}
 		for _, st := range []Status{Optimal, Infeasible, Unbounded, IterationLimit,
 			Canceled, DeadlineExceeded, NodeLimit} {
-			out[st] = telemetry.NewCounter("lp.status." + st.String())
+			// Status.String spells multi-word statuses with hyphens
+			// ("iteration-limit"); metric names stay in the [a-z0-9_.]
+			// charset so the Prometheus mangling is injective.
+			name := strings.ReplaceAll(st.String(), "-", "_")
+			out[st] = telemetry.NewCounter("lp.status." + name)
 		}
 		return out
 	}()

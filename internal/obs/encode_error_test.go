@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Error-path and boundary coverage for the JSONL wire format: what happens
+// on the read side when a line is torn mid-write, and how non-finite floats
+// survive the trip (encoding/json would reject them outright).
+
+func TestDecodeJSONLErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"torn line":      `{"level":"info","msg":"half`,
+		"not an object":  `[1,2,3]`,
+		"bare value":     `42`,
+		"wrong envelope": `{"level":7,"msg":"x"}`,
+		"trailing junk":  `{"level":"info","msg":"x"}{"level":"info"}`,
+	}
+	for name, line := range cases {
+		if _, err := DecodeJSONL([]byte(line)); err == nil {
+			t.Errorf("%s: DecodeJSONL accepted %q", name, line)
+		}
+	}
+}
+
+func TestDecodeJSONLTruncatedEncoderOutput(t *testing.T) {
+	ev := Event{Level: LevelInfo, Msg: "trial done", Stage: "fig5",
+		Fields: []Field{F("profit", 12.5), F("attempt", 3)}}
+	line := ev.AppendJSONL(nil)
+	if _, err := DecodeJSONL(line[:len(line)-1]); err != nil {
+		t.Fatalf("intact line (sans newline) rejected: %v", err)
+	}
+	// Every strict prefix — a crash mid-append — must error.
+	for cut := 1; cut < len(line)-1; cut += 7 {
+		if _, err := DecodeJSONL(line[:cut]); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted: %q", cut, len(line), line[:cut])
+		}
+	}
+}
+
+func TestJSONLNonFiniteFloatsRoundTrip(t *testing.T) {
+	ev := Event{Level: LevelWarn, Msg: "degenerate solve",
+		Fields: []Field{
+			F("nan", math.NaN()),
+			F("pinf", math.Inf(1)),
+			F("ninf", math.Inf(-1)),
+			F("nan32", float32(math.NaN())),
+			F("finite", 1.5),
+		}}
+	line := ev.AppendJSONL(nil)
+	dec, err := DecodeJSONL(line[:len(line)-1])
+	if err != nil {
+		t.Fatalf("non-finite floats broke the wire format: %v\n%s", err, line)
+	}
+	// Non-finite values arrive as their quoted spellings — still one value
+	// per key, never an invalid JSON token.
+	if dec.Extra["nan"] != "NaN" {
+		t.Errorf("nan = %v (%T), want the string NaN", dec.Extra["nan"], dec.Extra["nan"])
+	}
+	if dec.Extra["pinf"] != "+Inf" {
+		t.Errorf("pinf = %v, want the string +Inf", dec.Extra["pinf"])
+	}
+	if dec.Extra["ninf"] != "-Inf" {
+		t.Errorf("ninf = %v, want the string -Inf", dec.Extra["ninf"])
+	}
+	if dec.Extra["nan32"] != "NaN" {
+		t.Errorf("nan32 = %v, want the string NaN", dec.Extra["nan32"])
+	}
+	if f, ok := dec.Extra["finite"].(float64); !ok || f != 1.5 {
+		t.Errorf("finite = %v, want 1.5", dec.Extra["finite"])
+	}
+	// The Text encoding spells them bare; it has no JSON validity to lose.
+	text := string(ev.AppendText(nil))
+	for _, want := range []string{"nan=NaN", "pinf=+Inf", "ninf=-Inf"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text encoding missing %q: %s", want, text)
+		}
+	}
+}

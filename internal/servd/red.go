@@ -1,0 +1,117 @@
+// Service RED metrics and per-request trace plumbing: every route is
+// wrapped in one middleware that counts requests and error responses per
+// route, observes wall-clock request latency, accepts an inbound W3C
+// traceparent header (parenting this server's request span under the
+// caller's span), and emits an outbound traceparent naming the request span
+// so clients can stitch the service into their own traces.
+//
+// Everything here is wall-clock and traffic-shaped, so it lives strictly on
+// the nondeterministic side of the telemetry contract: per-route counts in
+// the counters section vary with traffic (like servd.requests always has),
+// and the latency/queue-wait/solve-duration distributions are Timings —
+// excluded from deterministic snapshots, so golden byte-locks never see
+// them. Durations come from the server's injectable clock (Options.Clock),
+// so tests pin them exactly.
+package servd
+
+import (
+	"net/http"
+
+	"cpsguard/internal/telemetry"
+)
+
+// RunIDHeader is set on every response that concerns a resolvable run —
+// submits (including 429 queue_full and 503 breaker_open/draining
+// envelopes) and the /runs/{id} family — so a client can correlate a
+// refusal with the run it was about without parsing the body.
+const RunIDHeader = "X-Cpsguard-Run-Id"
+
+// redRoutes names the instrumented routes; one requests/errors counter pair
+// per route is registered at init so the metric families exist (zero-valued)
+// from the first scrape, not on first traffic.
+var redRoutes = []string{"submit", "list", "run", "artifact", "events", "healthz", "readyz"}
+
+var (
+	mRouteRequests = map[string]*telemetry.Counter{}
+	mRouteErrors   = map[string]*telemetry.Counter{}
+
+	// tRequestLatency is full wall-clock request handling time per request,
+	// across all routes (nanoseconds).
+	tRequestLatency = telemetry.NewTiming("servd.request_latency_ns")
+	// tQueueWait is how long an admitted job sat in the admission queue
+	// before a worker picked it up (nanoseconds).
+	tQueueWait = telemetry.NewTiming("servd.queue_wait_ns")
+	// tSolveDuration is the wall-clock duration of each solve attempt
+	// (runner execution only — staging and commit excluded; nanoseconds).
+	tSolveDuration = telemetry.NewTiming("servd.solve_duration_ns")
+)
+
+func init() {
+	for _, route := range redRoutes {
+		mRouteRequests[route] = telemetry.NewCounter("servd.route." + route + ".requests")
+		mRouteErrors[route] = telemetry.NewCounter("servd.route." + route + ".errors")
+	}
+}
+
+// statusWriter captures the response status code for error classification
+// while passing flushes through (the events route streams).
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrumented wraps a route handler with the RED middleware. The request
+// span (when tracing is on) is threaded through the request context, so
+// handleSubmit can parent the asynchronous run under it.
+func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mRouteRequests[route].Inc()
+		start := s.now()
+		reg := telemetry.Default()
+		sp := reg.StartSpan("servd.http."+route, r.Method+" "+r.URL.Path)
+		if sp != nil {
+			traceID := reg.TraceID()
+			if tc, err := telemetry.ParseTraceParent(r.Header.Get("traceparent")); err == nil {
+				// The caller is tracing: join its trace rather than starting
+				// our own, and parent this request under its span.
+				sp.SetRemoteParent(tc.SpanID)
+				traceID = tc.TraceID
+			}
+			out := telemetry.TraceContext{TraceID: traceID, SpanID: reg.GlobalSpanID(sp.ID())}
+			if out.Valid() {
+				w.Header().Set("Traceparent", out.TraceParent())
+			}
+			r = r.WithContext(telemetry.ContextWithSpan(r.Context(), sp))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		sp.End()
+		tRequestLatency.Observe(s.now().Sub(start).Nanoseconds())
+		if sw.code >= 400 {
+			mRouteErrors[route].Inc()
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package servd
+
+import (
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cpsguard/internal/telemetry"
+)
+
+// The RED instruments live on the process-wide default registry (that is
+// what a scrape of the live binary sees), so these tests assert deltas, not
+// absolute values — other tests in the package share the same counters.
+
+func counterDelta(t *testing.T, name string, fn func()) int64 {
+	t.Helper()
+	c := telemetry.Default().Counter(name)
+	before := c.Value()
+	fn()
+	return c.Value() - before
+}
+
+func TestREDRouteCounters(t *testing.T) {
+	stub := &stubRunner{payload: []byte("col\n1\n")}
+	ts := newTestServer(t, stub, nil)
+
+	// A successful submit increments requests but not errors.
+	errBefore := telemetry.Default().Counter("servd.route.submit.errors").Value()
+	d := counterDelta(t, "servd.route.submit.requests", func() {
+		if code, _, _ := ts.post(`{"figure":"5","quick":true}`, true); code != http.StatusOK {
+			t.Fatalf("submit code %d", code)
+		}
+	})
+	if d != 1 {
+		t.Fatalf("submit requests delta = %d, want 1", d)
+	}
+	if got := telemetry.Default().Counter("servd.route.submit.errors").Value() - errBefore; got != 0 {
+		t.Fatalf("successful submit counted %d errors", got)
+	}
+
+	// A malformed submit increments both.
+	d = counterDelta(t, "servd.route.submit.errors", func() {
+		if code, _, _ := ts.post(`{not json`, false); code != http.StatusBadRequest {
+			t.Fatalf("bad submit code %d", code)
+		}
+	})
+	if d != 1 {
+		t.Fatalf("bad submit errors delta = %d, want 1", d)
+	}
+
+	// A 404 on the run route is an error for the "run" route, not "submit".
+	d = counterDelta(t, "servd.route.run.errors", func() {
+		if code, _ := ts.get("/runs/doesnotexist"); code != http.StatusNotFound {
+			t.Fatalf("unknown run code %d", code)
+		}
+	})
+	if d != 1 {
+		t.Fatalf("run errors delta = %d, want 1", d)
+	}
+
+	// Health probes are counted on their own route.
+	d = counterDelta(t, "servd.route.healthz.requests", func() {
+		if code, _ := ts.get("/healthz"); code != http.StatusOK {
+			t.Fatalf("healthz code %d", code)
+		}
+	})
+	if d != 1 {
+		t.Fatalf("healthz requests delta = %d, want 1", d)
+	}
+}
+
+func TestREDTimingsObserved(t *testing.T) {
+	// A step clock: every reading advances 1ms, so any two reads bracketing
+	// work yield a strictly positive duration without real sleeping.
+	var ticks atomic.Int64
+	clock := func() time.Time {
+		return time.Unix(0, ticks.Add(int64(time.Millisecond)))
+	}
+	stub := &stubRunner{payload: []byte("col\n1\n")}
+	ts := newTestServer(t, stub, func(o *Options) { o.Clock = clock })
+
+	lat := telemetry.Default().Timing("servd.request_latency_ns")
+	qw := telemetry.Default().Timing("servd.queue_wait_ns")
+	sd := telemetry.Default().Timing("servd.solve_duration_ns")
+	latN, qwN, sdN := lat.Count(), qw.Count(), sd.Count()
+	latS, qwS, sdS := lat.Sum(), qw.Sum(), sd.Sum()
+
+	if code, _, st := ts.post(`{"figure":"5","quick":true}`, true); code != http.StatusOK || st.Status != "done" {
+		t.Fatalf("submit: code %d status %+v", code, st)
+	}
+
+	if n := lat.Count() - latN; n < 1 {
+		t.Fatalf("request latency observations = %d, want >= 1", n)
+	}
+	if s := lat.Sum() - latS; s <= 0 {
+		t.Fatalf("request latency sum delta = %d, want > 0 (step clock)", s)
+	}
+	if n := qw.Count() - qwN; n != 1 {
+		t.Fatalf("queue wait observations = %d, want 1", n)
+	}
+	if s := qw.Sum() - qwS; s <= 0 {
+		t.Fatalf("queue wait sum delta = %d, want > 0", s)
+	}
+	if n := sd.Count() - sdN; n != 1 {
+		t.Fatalf("solve duration observations = %d, want 1", n)
+	}
+	if s := sd.Sum() - sdS; s <= 0 {
+		t.Fatalf("solve duration sum delta = %d, want > 0", s)
+	}
+}
+
+func TestTraceparentAcceptAndEmit(t *testing.T) {
+	reg := telemetry.Default()
+	reg.EnableTracing(true)
+	defer reg.EnableTracing(false)
+
+	stub := &stubRunner{payload: []byte("col\n1\n")}
+	ts := newTestServer(t, stub, nil)
+
+	// Without an inbound header the server starts its own trace and still
+	// names the request span on the way out.
+	req, _ := http.NewRequest("GET", ts.http.URL+"/healthz", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	own, err := telemetry.ParseTraceParent(resp.Header.Get("Traceparent"))
+	if err != nil {
+		t.Fatalf("server-minted traceparent invalid: %v (%q)", err,
+			resp.Header.Get("Traceparent"))
+	}
+
+	// With an inbound header the server joins the caller's trace: same
+	// trace ID out, but a fresh span ID (the request span, not an echo).
+	inbound := telemetry.TraceContext{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:  "00f067aa0ba902b7",
+	}
+	req, _ = http.NewRequest("GET", ts.http.URL+"/healthz", nil)
+	req.Header.Set("traceparent", inbound.TraceParent())
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	joined, err := telemetry.ParseTraceParent(resp.Header.Get("Traceparent"))
+	if err != nil {
+		t.Fatalf("joined traceparent invalid: %v", err)
+	}
+	if joined.TraceID != inbound.TraceID {
+		t.Fatalf("server did not join caller trace: got %s, want %s",
+			joined.TraceID, inbound.TraceID)
+	}
+	if joined.SpanID == inbound.SpanID {
+		t.Fatal("server echoed the caller span ID instead of minting its own")
+	}
+	if joined.TraceID == own.TraceID {
+		t.Fatal("joined response reused the server's own trace ID")
+	}
+
+	// The request span records the caller's span as its remote parent.
+	snap := reg.Snapshot(telemetry.SnapshotOptions{Spans: true})
+	found := false
+	for _, sp := range snap.Spans {
+		if sp.Stage == "servd.http.healthz" && sp.RemoteParent == inbound.SpanID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no servd.http.healthz span carries the caller's span as remote parent")
+	}
+}
+
+func TestRunIDHeaderOnSubmitAndRefusals(t *testing.T) {
+	// One worker, queue depth 1, stub blocked: the first submit occupies the
+	// worker, the second fills the queue, the third is refused 429 — and all
+	// three name their run in the header.
+	block := make(chan struct{})
+	started := make(chan string, 4)
+	stub := &stubRunner{block: block, started: started, payload: []byte("col\n1\n")}
+	ts := newTestServer(t, stub, func(o *Options) {
+		o.Workers = 1
+		o.QueueDepth = 1
+	})
+
+	bodies := []string{
+		`{"figure":"5","quick":true,"seed":1}`,
+		`{"figure":"5","quick":true,"seed":2}`,
+		`{"figure":"5","quick":true,"seed":3}`,
+	}
+	code, hdr, st := ts.post(bodies[0], false)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit code %d", code)
+	}
+	if got := hdr.Get(RunIDHeader); got == "" || got != st.RunID {
+		t.Fatalf("202 %s = %q, body run_id %q", RunIDHeader, got, st.RunID)
+	}
+	<-started // the worker holds job 1; job 2 will sit in the queue
+
+	if code, hdr, _ = ts.post(bodies[1], false); code != http.StatusAccepted {
+		t.Fatalf("second submit code %d", code)
+	} else if hdr.Get(RunIDHeader) == "" {
+		t.Fatalf("queued 202 missing %s", RunIDHeader)
+	}
+
+	code, hdr, st = ts.post(bodies[2], false)
+	if code != http.StatusTooManyRequests || st.Error == nil || st.Error.Kind != "queue_full" {
+		t.Fatalf("third submit: code %d status %+v", code, st)
+	}
+	if hdr.Get(RunIDHeader) == "" {
+		t.Fatalf("429 queue_full missing %s — refusals must still name the run", RunIDHeader)
+	}
+
+	close(block) // let the held runs finish so Cleanup can drain
+}
+
+func TestRunIDHeaderOnRunsFamily(t *testing.T) {
+	stub := &stubRunner{payload: []byte("col\n9\n")}
+	ts := newTestServer(t, stub, nil)
+
+	code, _, st := ts.post(`{"figure":"5","quick":true}`, true)
+	if code != http.StatusOK || st.Status != "done" {
+		t.Fatalf("submit: code %d status %+v", code, st)
+	}
+
+	for _, path := range []string{
+		"/runs/" + st.RunID,
+		"/runs/" + st.RunID + "/artifacts/fig5.csv",
+		"/runs/" + st.RunID + "/events",
+	} {
+		resp, err := http.Get(ts.http.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: code %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get(RunIDHeader); got != st.RunID {
+			t.Fatalf("%s: %s = %q, want %q", path, RunIDHeader, got, st.RunID)
+		}
+	}
+
+	// Unknown IDs resolve to no run: 404 with no header to mislead.
+	resp, err := http.Get(ts.http.URL + "/runs/0000deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run code %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RunIDHeader); got != "" {
+		t.Fatalf("404 carries %s = %q for a run that does not exist", RunIDHeader, got)
+	}
+}
+
+func TestRunIDHeaderOnDraining(t *testing.T) {
+	stub := &stubRunner{payload: []byte("col\n1\n")}
+	ts := newTestServer(t, stub, nil)
+	if err := ts.srv.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	code, hdr, st := ts.post(`{"figure":"5","quick":true}`, false)
+	if code != http.StatusServiceUnavailable || st.Error == nil || st.Error.Kind != "draining" {
+		t.Fatalf("draining submit: code %d status %+v", code, st)
+	}
+	if hdr.Get(RunIDHeader) == "" {
+		t.Fatalf("503 draining missing %s", RunIDHeader)
+	}
+}
+
+func TestRunSpanParentedUnderSubmit(t *testing.T) {
+	reg := telemetry.Default()
+	reg.EnableTracing(true)
+	defer reg.EnableTracing(false)
+
+	stub := &stubRunner{payload: []byte("col\n1\n")}
+	ts := newTestServer(t, stub, nil)
+	code, _, st := ts.post(`{"figure":"5","quick":true,"seed":77}`, true)
+	if code != http.StatusOK || st.Status != "done" {
+		t.Fatalf("submit: code %d status %+v", code, st)
+	}
+
+	// The async run span must link back to the submit request span through
+	// the global-ID remote parent, surviving the queue hop where the local
+	// parent pointer cannot.
+	snap := reg.Snapshot(telemetry.SnapshotOptions{Spans: true})
+	var runSpan *telemetry.SpanRecord
+	for i := range snap.Spans {
+		sp := &snap.Spans[i]
+		if sp.Stage == "servd.run" && sp.Problem == st.RunID {
+			runSpan = sp
+		}
+	}
+	if runSpan == nil {
+		t.Fatal("no servd.run span for the settled run")
+	}
+	if runSpan.RemoteParent == "" {
+		t.Fatal("servd.run span has no remote parent; the queue hop broke the trace")
+	}
+	found := false
+	for _, sp := range snap.Spans {
+		if sp.Stage == "servd.http.submit" &&
+			reg.GlobalSpanID(sp.ID) == runSpan.RemoteParent {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("servd.run remote parent %s matches no submit request span",
+			runSpan.RemoteParent)
+	}
+}

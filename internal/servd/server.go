@@ -36,6 +36,7 @@ import (
 	"cpsguard/internal/checkpoint"
 	"cpsguard/internal/lp"
 	"cpsguard/internal/obs"
+	"cpsguard/internal/telemetry"
 )
 
 // Options configures New. Store and Runner are required.
@@ -116,6 +117,12 @@ type job struct {
 	done  chan struct{} // closed when the job settles (done or failed)
 	probe bool          // this job is a breaker half-open probe
 
+	// enqueuedAt (server clock) feeds the servd.queue_wait_ns timing;
+	// parentGID is the submitting request span's global ID, so the
+	// asynchronous run span can parent under it across the queue boundary.
+	enqueuedAt time.Time
+	parentGID  string
+
 	// The fields below are guarded by Server.mu.
 	status   string // "queued", "running", "done", "failed"
 	dir      string // staging directory while running
@@ -187,16 +194,18 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every route runs inside the
+// RED middleware (red.go): per-route request/error counters, wall-clock
+// latency, and traceparent accept/emit.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /scenarios", s.handleSubmit)
-	mux.HandleFunc("GET /scenarios", s.handleList)
-	mux.HandleFunc("GET /runs/{id}", s.handleRun)
-	mux.HandleFunc("GET /runs/{id}/artifacts/{name}", s.handleArtifact)
-	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /scenarios", s.instrumented("submit", s.handleSubmit))
+	mux.HandleFunc("GET /scenarios", s.instrumented("list", s.handleList))
+	mux.HandleFunc("GET /runs/{id}", s.instrumented("run", s.handleRun))
+	mux.HandleFunc("GET /runs/{id}/artifacts/{name}", s.instrumented("artifact", s.handleArtifact))
+	mux.HandleFunc("GET /runs/{id}/events", s.instrumented("events", s.handleEvents))
+	mux.HandleFunc("GET /healthz", s.instrumented("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrumented("readyz", s.handleReadyz))
 	return mux
 }
 
@@ -276,6 +285,15 @@ func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	j.status = "running"
 	s.mu.Unlock()
+	if !j.enqueuedAt.IsZero() {
+		tQueueWait.Observe(s.now().Sub(j.enqueuedAt).Nanoseconds())
+	}
+	// The run span parents under the submitting request's span (captured as
+	// a global ID, since the request handler returned long ago) and encloses
+	// every solve attempt, so experiment spans nest under it via ctx.
+	runSpan := telemetry.Default().StartSpan("servd.run", j.runID)
+	runSpan.SetRemoteParent(j.parentGID)
+	ctx = telemetry.ContextWithSpan(ctx, runSpan)
 	log := s.log.WithStage("servd " + j.runID)
 	log.Debug("run started", obs.F("key", j.key), obs.F("config", j.cfg.String()))
 
@@ -293,7 +311,10 @@ func (s *Server) runJob(j *job) {
 		s.mu.Lock()
 		j.dir = stage
 		s.mu.Unlock()
-		if err := s.runner.Run(ctx, j.cfg, stage); err != nil {
+		solveStart := s.now()
+		err = s.runner.Run(ctx, j.cfg, stage)
+		tSolveDuration.Observe(s.now().Sub(solveStart).Nanoseconds())
+		if err != nil {
 			s.mu.Lock()
 			j.dir = ""
 			s.mu.Unlock()
@@ -326,6 +347,10 @@ func (s *Server) runJob(j *job) {
 	}
 	s.mu.Unlock()
 
+	if j.attempts > 1 {
+		runSpan.SetRetries(j.attempts - 1)
+	}
+	runSpan.End()
 	if err != nil {
 		mRunsFailed.Inc()
 		// Operator shutdown (drain cancel) is not evidence against the
@@ -448,6 +473,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	key := sc.Key()
 	runID := RunIDForKey(key)
+	// Every response about this scenario — acceptance, cache hit, 429
+	// queue_full, 503 breaker_open/draining — names the run it concerns.
+	w.Header().Set(RunIDHeader, runID)
 	wait := r.URL.Query().Get("wait") != ""
 
 	// Completed and verified → instant hit, no admission control involved.
@@ -500,7 +528,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := &job{
 		key: key, runID: runID, cfg: sc, done: make(chan struct{}),
 		status: "queued", probe: probe,
-		ddl: s.effectiveDeadline(sc.DeadlineMS),
+		ddl:        s.effectiveDeadline(sc.DeadlineMS),
+		enqueuedAt: s.now(),
+	}
+	if sp := telemetry.SpanFromContext(r.Context()); sp != nil {
+		j.parentGID = telemetry.Default().GlobalSpanID(sp.ID())
 	}
 	select {
 	case s.queue <- j:
@@ -616,9 +648,20 @@ func (s *Server) resolveKey(id string) (string, bool) {
 	return "", false
 }
 
+// resolveRun is resolveKey plus the RunIDHeader contract: every /runs/{id}
+// response that resolves to a run — success or typed refusal — carries the
+// canonical run ID so clients can correlate it with traces and submits.
+func (s *Server) resolveRun(w http.ResponseWriter, id string) (string, bool) {
+	key, ok := s.resolveKey(id)
+	if ok {
+		w.Header().Set(RunIDHeader, RunIDForKey(key))
+	}
+	return key, ok
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	mRequests.Inc()
-	key, ok := s.resolveKey(r.PathValue("id"))
+	key, ok := s.resolveRun(w, r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", "unknown run ID", 0, nil)
 		return
@@ -671,7 +714,7 @@ var bundleFiles = map[string]bool{
 
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	mRequests.Inc()
-	key, ok := s.resolveKey(r.PathValue("id"))
+	key, ok := s.resolveRun(w, r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", "unknown run ID", 0, nil)
 		return
@@ -742,7 +785,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 // flushing as lines land, until the run settles or the client disconnects.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	mRequests.Inc()
-	key, ok := s.resolveKey(r.PathValue("id"))
+	key, ok := s.resolveRun(w, r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", "unknown run ID", 0, nil)
 		return

@@ -55,6 +55,17 @@ type Rollup struct {
 	Shards map[string]map[string]int64 `json:"shards"`
 	// Fleet sums every counter across the fresh shards.
 	Fleet map[string]int64 `json:"fleet"`
+	// FleetHistograms merges every deterministic histogram across the fresh
+	// shards (elementwise bucket sums; see telemetry.MergeHistogramSnapshots).
+	FleetHistograms map[string]telemetry.HistogramSnapshot `json:"fleet_histograms,omitempty"`
+	// FleetTimings merges the nondeterministic timing distributions the same
+	// way — shards report with Timings enabled, so fleet latency percentiles
+	// come from real merged buckets, not averages of averages.
+	FleetTimings map[string]telemetry.HistogramSnapshot `json:"fleet_timings,omitempty"`
+	// HistogramConflicts lists (sorted, deduplicated) histogram names that
+	// could not be merged because two shards reported different bucket
+	// layouts — a version skew signal, surfaced rather than silently summed.
+	HistogramConflicts []string `json:"histogram_conflicts,omitempty"`
 	// Count is the number of fresh shards contributing to Fleet.
 	Count int `json:"count"`
 	// AgeSeconds maps every shard ID (fresh and stale) to the seconds
@@ -141,10 +152,61 @@ func (a *Aggregator) Rollup() Rollup {
 		for name, v := range snap.Counters {
 			r.Fleet[name] += v
 		}
+		conflicts := mergeHistogramsInto(&r.FleetHistograms, snap.Histograms)
+		conflicts = append(conflicts, mergeHistogramsInto(&r.FleetTimings, snap.Timings)...)
+		r.HistogramConflicts = append(r.HistogramConflicts, conflicts...)
 	}
 	sort.Strings(r.Stale)
 	r.StaleCount = len(r.Stale)
+	r.HistogramConflicts = dedupeSorted(r.HistogramConflicts)
 	return r
+}
+
+// mergeHistogramsInto folds one shard's histogram map into the fleet map,
+// returning the names whose bucket layouts conflicted (those names keep the
+// first layout seen; the conflicting shard's data is dropped from the merge
+// so neither series is corrupted).
+func mergeHistogramsInto(dst *map[string]telemetry.HistogramSnapshot,
+	src map[string]telemetry.HistogramSnapshot) []string {
+	if len(src) == 0 {
+		return nil
+	}
+	if *dst == nil {
+		*dst = make(map[string]telemetry.HistogramSnapshot, len(src))
+	}
+	var conflicts []string
+	for name, hs := range src {
+		cur, ok := (*dst)[name]
+		if !ok {
+			// Copy the buckets so later merges never alias the ingested
+			// snapshot's slice.
+			cp := hs
+			cp.Buckets = append([]int64(nil), hs.Buckets...)
+			(*dst)[name] = cp
+			continue
+		}
+		merged, ok := telemetry.MergeHistogramSnapshots(cur, hs)
+		if !ok {
+			conflicts = append(conflicts, name)
+			continue
+		}
+		(*dst)[name] = merged
+	}
+	return conflicts
+}
+
+func dedupeSorted(names []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	out := names[:1]
+	for _, n := range names[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // ServeHTTP routes the /shards/ endpoints:

@@ -141,3 +141,73 @@ func TestPostSnapshotErrorsOnDeadAggregator(t *testing.T) {
 		t.Fatal("post to a dead aggregator succeeded")
 	}
 }
+
+func histSnap(edges []int64, obs ...int64) telemetry.HistogramSnapshot {
+	r := telemetry.NewRegistry()
+	h := r.Histogram("h", edges)
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	return r.Snapshot(telemetry.SnapshotOptions{}).Histograms["h"]
+}
+
+func TestAggregatorRollupMergesHistograms(t *testing.T) {
+	edges := []int64{10, 100}
+	agg := NewAggregator()
+	agg.Ingest("0/2", &telemetry.Snapshot{
+		Counters:   map[string]int64{},
+		Histograms: map[string]telemetry.HistogramSnapshot{"lp.work": histSnap(edges, 5, 50)},
+		Timings:    map[string]telemetry.HistogramSnapshot{"lat_ns": histSnap(edges, 7)},
+	})
+	agg.Ingest("1/2", &telemetry.Snapshot{
+		Counters:   map[string]int64{},
+		Histograms: map[string]telemetry.HistogramSnapshot{"lp.work": histSnap(edges, 500)},
+		Timings:    map[string]telemetry.HistogramSnapshot{"lat_ns": histSnap(edges, 90)},
+	})
+
+	r := agg.Rollup()
+	fh := r.FleetHistograms["lp.work"]
+	if fh.Count != 3 || fh.Sum != 555 {
+		t.Fatalf("fleet lp.work = %+v", fh)
+	}
+	if want := []int64{1, 1, 1}; len(fh.Buckets) != 3 ||
+		fh.Buckets[0] != want[0] || fh.Buckets[1] != want[1] || fh.Buckets[2] != want[2] {
+		t.Fatalf("fleet buckets = %v, want %v", fh.Buckets, want)
+	}
+	if fh.Min != 5 || fh.Max != 500 {
+		t.Fatalf("fleet min/max = %d/%d", fh.Min, fh.Max)
+	}
+	ft := r.FleetTimings["lat_ns"]
+	if ft.Count != 2 || ft.Sum != 97 || ft.Min != 7 || ft.Max != 90 {
+		t.Fatalf("fleet timing = %+v", ft)
+	}
+	if len(r.HistogramConflicts) != 0 {
+		t.Fatalf("unexpected conflicts: %v", r.HistogramConflicts)
+	}
+	// The merge must not have aliased an ingested snapshot's buckets.
+	agg.Rollup()
+	if again := agg.Rollup().FleetHistograms["lp.work"]; again.Buckets[0] != 1 {
+		t.Fatalf("repeated rollups mutated ingested state: %+v", again)
+	}
+}
+
+func TestAggregatorRollupFlagsEdgeConflicts(t *testing.T) {
+	agg := NewAggregator()
+	agg.Ingest("0/2", &telemetry.Snapshot{
+		Counters:   map[string]int64{},
+		Histograms: map[string]telemetry.HistogramSnapshot{"lp.work": histSnap([]int64{10, 100}, 5)},
+	})
+	agg.Ingest("1/2", &telemetry.Snapshot{
+		Counters:   map[string]int64{},
+		Histograms: map[string]telemetry.HistogramSnapshot{"lp.work": histSnap([]int64{10, 100, 1000}, 5)},
+	})
+	r := agg.Rollup()
+	if len(r.HistogramConflicts) != 1 || r.HistogramConflicts[0] != "lp.work" {
+		t.Fatalf("conflicts = %v, want [lp.work]", r.HistogramConflicts)
+	}
+	// The first layout seen survives; the conflicting series is dropped,
+	// never summed bucket-by-mismatched-bucket.
+	if fh := r.FleetHistograms["lp.work"]; fh.Count != 1 {
+		t.Fatalf("conflicted merge count = %d, want 1", fh.Count)
+	}
+}

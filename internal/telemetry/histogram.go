@@ -153,3 +153,38 @@ func updateMax(a *atomic.Int64, v int64) {
 		}
 	}
 }
+
+// MergeHistogramSnapshots combines two snapshots of histograms that share a
+// bucket layout: elementwise bucket sums, summed count and sum, and the
+// tighter min/max (respecting that Min/Max are only meaningful when the
+// side's Count is positive). It returns false when the edge vectors differ —
+// merging distributions binned on different scales would silently corrupt
+// both, so the caller must surface the conflict instead.
+func MergeHistogramSnapshots(a, b HistogramSnapshot) (HistogramSnapshot, bool) {
+	if len(a.Edges) != len(b.Edges) || len(a.Buckets) != len(b.Buckets) {
+		return HistogramSnapshot{}, false
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return HistogramSnapshot{}, false
+		}
+	}
+	m := HistogramSnapshot{
+		Edges:   a.Edges,
+		Buckets: make([]int64, len(a.Buckets)),
+		Count:   a.Count + b.Count,
+		Sum:     a.Sum + b.Sum,
+	}
+	for i := range a.Buckets {
+		m.Buckets[i] = a.Buckets[i] + b.Buckets[i]
+	}
+	switch {
+	case a.Count > 0 && b.Count > 0:
+		m.Min, m.Max = min(a.Min, b.Min), max(a.Max, b.Max)
+	case a.Count > 0:
+		m.Min, m.Max = a.Min, a.Max
+	case b.Count > 0:
+		m.Min, m.Max = b.Min, b.Max
+	}
+	return m, true
+}

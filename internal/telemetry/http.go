@@ -25,8 +25,9 @@ func (r *Registry) MetricsHandler() http.Handler {
 	})
 }
 
-// DebugMux builds the debug mux: /metrics (JSON snapshot), /debug/vars
-// (expvar, including the published telemetry snapshot), and the standard
+// DebugMux builds the debug mux: /metrics (JSON snapshot), /metrics/prom
+// (Prometheus text exposition), /debug/vars (expvar, including the published
+// telemetry snapshot), and the standard
 // /debug/pprof endpoints. Handlers are wired explicitly instead of importing
 // net/http/pprof for its DefaultServeMux side effect, so binaries that never
 // opt in expose nothing.
@@ -34,6 +35,7 @@ func (r *Registry) DebugMux() *http.ServeMux {
 	PublishExpvar()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/metrics/prom", r.PromHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

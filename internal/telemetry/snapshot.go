@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"os"
 	"sync"
 
 	"cpsguard/internal/atomicio"
@@ -29,6 +30,16 @@ type Snapshot struct {
 	Spans []SpanRecord `json:"spans,omitempty"`
 	// SpansDropped counts spans overwritten after the ring filled.
 	SpansDropped int64 `json:"spans_dropped,omitempty"`
+
+	// Trace identity, present only when spans were requested and tracing
+	// is on (it is nondeterministic by construction, like the spans it
+	// describes). TraceID is the 32-hex distributed-trace ID; SpanBase is
+	// the 16-hex XOR base that turns local span IDs into global ones; PID
+	// and Label identify the recording process in fleet merges.
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanBase string `json:"span_base,omitempty"`
+	PID      int    `json:"pid,omitempty"`
+	Label    string `json:"label,omitempty"`
 }
 
 // SnapshotOptions selects the nondeterministic sections.
@@ -63,6 +74,12 @@ func (r *Registry) Snapshot(opts SnapshotOptions) *Snapshot {
 	}
 	if opts.Spans {
 		s.Spans, s.SpansDropped = r.spans.records()
+		if r.Tracing() {
+			s.TraceID = r.TraceID()
+			s.SpanBase = fmt.Sprintf("%016x", r.spanBaseID())
+			s.PID = os.Getpid()
+			s.Label = r.Label()
+		}
 	}
 	return s
 }

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The artifact readers feed on files that crashes, partial copies, and
+// foreign tools can mangle; these tests pin the error paths the happy-path
+// battery never reaches.
+
+func TestReadSnapshotErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad json":       "{not json",
+		"wrong type":     `{"counters": "nope"}`,
+		"truncated":      `{"counters": {"lp.pivots": 4`,
+		"non-object":     `[1,2,3]`,
+		"number counter": `{"counters": {"lp.pivots": "many"}}`,
+	}
+	for name, data := range cases {
+		if _, err := ReadSnapshot([]byte(data)); err == nil {
+			t.Errorf("%s: ReadSnapshot accepted %q", name, data)
+		}
+	}
+}
+
+func TestReadSnapshotTruncatedRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lp.pivots").Add(42)
+	r.Histogram("lp.work_per_solve", WorkEdges).Observe(17)
+	data, err := r.Snapshot(SnapshotOptions{Timings: true}).MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The intact dump parses; every strict prefix of it (a torn write that
+	// bypassed atomicio, or a partial download) must error, never silently
+	// yield a half-read snapshot.
+	if _, err := ReadSnapshot(data); err != nil {
+		t.Fatalf("intact snapshot rejected: %v", err)
+	}
+	for _, cut := range []int{1, len(data) / 4, len(data) / 2, len(data) - 2} {
+		if _, err := ReadSnapshot(data[:cut]); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+func TestReadChromeTraceErrors(t *testing.T) {
+	for name, data := range map[string]string{
+		"empty":     "",
+		"bad json":  "{not json",
+		"truncated": `{"traceEvents": [{"name": "x"`,
+		"wrong":     `{"traceEvents": 7}`,
+	} {
+		if _, err := ReadChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: ReadChromeTrace accepted %q", name, data)
+		}
+	}
+}
+
+func TestReadChromeTraceTruncatedRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.SetClock(fakeClock(time.Millisecond))
+	r.EnableTracing(true)
+	sp := r.StartSpan("lp.solve", "d")
+	sp.End()
+	data, err := r.Snapshot(SnapshotOptions{Spans: true}).ChromeTrace().MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadChromeTrace(data); err != nil {
+		t.Fatalf("intact trace rejected: %v", err)
+	}
+	for _, cut := range []int{1, len(data) / 2, len(data) - 2} {
+		if _, err := ReadChromeTrace(data[:cut]); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted", cut, len(data))
+		}
+	}
+}

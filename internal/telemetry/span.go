@@ -30,6 +30,11 @@ type SpanRecord struct {
 	// ParentID is the ID of the enclosing span, or 0 for a root span.
 	// Parents are threaded through context.Context by StartSpanCtx.
 	ParentID uint64 `json:"parent_id,omitempty"`
+	// RemoteParent is the 16-hex *global* ID of a parent span in another
+	// process (inherited via SetTraceContext or set per span), recorded on
+	// root spans so a fleet merge can stitch process trees together. Empty
+	// when the span has a local parent or the process is a trace root.
+	RemoteParent string `json:"remote_parent,omitempty"`
 	// Stage names the instrumented operation ("lp.solve", "milp.solve",
 	// "adversary.solve", "experiments.trial", "experiments.point").
 	Stage string `json:"stage"`
@@ -79,11 +84,16 @@ func (r *Registry) newSpan(stage, problem string) *Span {
 }
 
 // StartSpan opens a root span when tracing is enabled, else returns nil.
+// Root spans inherit the registry's remote parent (if a trace context was
+// adopted from a supervisor or an HTTP caller), so they nest under the
+// launching process's span after a fleet merge.
 func (r *Registry) StartSpan(stage, problem string) *Span {
 	if r == nil || !r.tracing.Load() {
 		return nil
 	}
-	return r.newSpan(stage, problem)
+	sp := r.newSpan(stage, problem)
+	sp.rec.RemoteParent = r.remoteParentID()
+	return sp
 }
 
 // spanCtxKey keys the active span in a context.Context.
@@ -122,6 +132,8 @@ func (r *Registry) StartSpanCtx(ctx context.Context, stage, problem string) (*Sp
 	sp := r.newSpan(stage, problem)
 	if parent := SpanFromContext(ctx); parent != nil {
 		sp.rec.ParentID = parent.rec.ID
+	} else {
+		sp.rec.RemoteParent = r.remoteParentID()
 	}
 	return sp, ContextWithSpan(ctx, sp)
 }
@@ -159,6 +171,18 @@ func (s *Span) AddRetries(n int) {
 	if s != nil {
 		s.mu.Lock()
 		s.rec.Retries += n
+		s.mu.Unlock()
+	}
+}
+
+// SetRemoteParent overrides the span's cross-process parent with a 16-hex
+// global span ID — how cpsservd parents a request span under the calling
+// client's span from its traceparent header, per request rather than per
+// process. A local parent link, when present, takes precedence in exports.
+func (s *Span) SetRemoteParent(gid string) {
+	if s != nil && gid != "" {
+		s.mu.Lock()
+		s.rec.RemoteParent = gid
 		s.mu.Unlock()
 	}
 }

@@ -79,6 +79,17 @@ type Registry struct {
 	spanID   atomic.Uint64
 	tracing  atomic.Bool
 	clock    atomic.Pointer[func() time.Time]
+
+	// Trace identity (tracecontext.go): which distributed trace this
+	// process's spans belong to, the inherited cross-process parent for
+	// root spans, the random base that makes local span IDs globally
+	// unique, and the process label for trace exports. Guarded by its own
+	// mutex so span creation never contends with instrument registration.
+	traceMu      sync.Mutex
+	traceID      string
+	remoteParent string
+	spanBase     uint64
+	label        string
 }
 
 // NewRegistry returns an empty registry using the real clock.
@@ -194,6 +205,27 @@ func (r *Registry) counterNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// InstrumentNames returns every registered counter, histogram, and timing
+// name, each list sorted. This is the surface the metric-name lint walks:
+// any name an instrumented package registers shows up here, so the lint can
+// enforce the exposition-safe charset over the whole fleet of instruments.
+func (r *Registry) InstrumentNames() (counters, histograms, timings []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters = r.counterNames()
+	histograms = make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		histograms = append(histograms, n)
+	}
+	sort.Strings(histograms)
+	timings = make([]string, 0, len(r.timings))
+	for n := range r.timings {
+		timings = append(timings, n)
+	}
+	sort.Strings(timings)
+	return counters, histograms, timings
 }
 
 // NewCounter registers (or fetches) a counter in the Default registry.

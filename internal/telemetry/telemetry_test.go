@@ -299,3 +299,42 @@ func TestDefaultRegistryHelpers(t *testing.T) {
 		t.Fatal("default timing not registered")
 	}
 }
+
+func TestMergeHistogramSnapshots(t *testing.T) {
+	mk := func(obs ...int64) HistogramSnapshot {
+		r := NewRegistry()
+		h := r.Histogram("h", []int64{10, 100})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot(SnapshotOptions{}).Histograms["h"]
+	}
+	m, ok := MergeHistogramSnapshots(mk(5, 50), mk(500, 7))
+	if !ok {
+		t.Fatal("same-layout merge refused")
+	}
+	if m.Count != 4 || m.Sum != 562 || m.Min != 5 || m.Max != 500 {
+		t.Fatalf("merged = %+v", m)
+	}
+	if m.Buckets[0] != 2 || m.Buckets[1] != 1 || m.Buckets[2] != 1 {
+		t.Fatalf("merged buckets = %v", m.Buckets)
+	}
+
+	// Min/Max from an empty side must not poison the merge (an empty
+	// snapshot's Min/Max are zero values, not observations).
+	m, ok = MergeHistogramSnapshots(mk(), mk(50))
+	if !ok || m.Count != 1 || m.Min != 50 || m.Max != 50 {
+		t.Fatalf("empty-left merge = %+v ok=%v", m, ok)
+	}
+	m, ok = MergeHistogramSnapshots(mk(50), mk())
+	if !ok || m.Count != 1 || m.Min != 50 || m.Max != 50 {
+		t.Fatalf("empty-right merge = %+v ok=%v", m, ok)
+	}
+
+	// Differing edge vectors refuse to merge.
+	other := NewRegistry()
+	other.Histogram("h", []int64{1, 2, 3}).Observe(1)
+	if _, ok := MergeHistogramSnapshots(mk(5), other.Snapshot(SnapshotOptions{}).Histograms["h"]); ok {
+		t.Fatal("cross-layout merge accepted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"cpsguard/internal/atomicio"
 )
@@ -33,22 +34,55 @@ type TraceEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// ChromeTrace is the trace-file envelope (JSON Object Format).
+// ChromeTrace is the trace-file envelope (JSON Object Format). The
+// cpsguard-prefixed fields are extensions — viewers ignore unknown envelope
+// keys — that carry what MergeChromeTraces needs to stitch per-process
+// files onto one timeline.
 type ChromeTrace struct {
 	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	// TraceID is the 32-hex distributed-trace ID shared by every process
+	// that inherited the same trace context (empty on legacy files).
+	TraceID string `json:"cpsguardTraceId,omitempty"`
+	// BaseNS is the registry-clock UnixNano instant of ts=0, so traces
+	// from different processes can be rebased onto one fleet timeline.
+	BaseNS int64 `json:"cpsguardBaseNs,omitempty"`
 }
 
 // ChromeTrace renders the snapshot's span window as a Chrome trace. Spans
 // are grouped into tracks by root ancestor: every root span (ParentID 0, or
 // an orphan whose parent was evicted from the ring) opens a track, and its
 // descendants draw nested inside it. Timestamps are rebased to the earliest
-// retained span so the trace starts at t=0 regardless of wall-clock origin.
+// retained span so the trace starts at t=0 regardless of wall-clock origin;
+// the rebase origin is preserved in the envelope's BaseNS so a fleet merge
+// can restore relative timing across processes. Events carry the recording
+// process's real PID (from the snapshot's trace identity; 1 for legacy
+// snapshots) and "gid"/"pgid" args — global span IDs — which is what makes
+// parent links resolvable after per-process files are merged.
 func (s *Snapshot) ChromeTrace() *ChromeTrace {
-	ct := &ChromeTrace{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	ct := &ChromeTrace{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms", TraceID: s.TraceID}
 	if len(s.Spans) == 0 {
 		return ct
 	}
+	pid := s.PID
+	if pid == 0 {
+		pid = 1
+	}
+	var base uint64
+	if s.SpanBase != "" {
+		if b, err := strconv.ParseUint(s.SpanBase, 16, 64); err == nil {
+			base = b
+		}
+	}
+	gid := func(id uint64) string { return fmt.Sprintf("%016x", base^id) }
+	procName := s.Label
+	if procName == "" {
+		procName = fmt.Sprintf("pid %d", pid)
+	}
+	ct.TraceEvents = append(ct.TraceEvents, TraceEvent{
+		Name: "process_name", Ph: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": procName},
+	})
 	byID := make(map[uint64]*SpanRecord, len(s.Spans))
 	for i := range s.Spans {
 		byID[s.Spans[i].ID] = &s.Spans[i]
@@ -77,6 +111,7 @@ func (s *Snapshot) ChromeTrace() *ChromeTrace {
 			minStart = s.Spans[i].StartNS
 		}
 	}
+	ct.BaseNS = minStart
 	sort.Slice(order, func(a, b int) bool {
 		if order[a].StartNS != order[b].StartNS {
 			return order[a].StartNS < order[b].StartNS
@@ -98,16 +133,20 @@ func (s *Snapshot) ChromeTrace() *ChromeTrace {
 				label += " " + root.Problem
 			}
 			ct.TraceEvents = append(ct.TraceEvents, TraceEvent{
-				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
 				Args: map[string]any{"name": label},
 			})
 		}
 		args := map[string]any{
 			"id":   rec.ID,
 			"work": rec.Work,
+			"gid":  gid(rec.ID),
 		}
 		if rec.ParentID != 0 {
 			args["parent"] = rec.ParentID
+			args["pgid"] = gid(rec.ParentID)
+		} else if rec.RemoteParent != "" {
+			args["pgid"] = rec.RemoteParent
 		}
 		if rec.Problem != "" {
 			args["problem"] = rec.Problem
@@ -124,7 +163,7 @@ func (s *Snapshot) ChromeTrace() *ChromeTrace {
 			Ph:   "X",
 			TS:   float64(rec.StartNS-minStart) / 1e3,
 			Dur:  float64(rec.DurationNS) / 1e3,
-			PID:  1,
+			PID:  pid,
 			TID:  tid,
 			Args: args,
 		})

@@ -135,9 +135,19 @@ func TestChromeTraceExport(t *testing.T) {
 			t.Fatalf("unexpected phase %q", ev.Ph)
 		}
 	}
-	// Two roots (trial tree + lone adversary solve) → two named tracks.
-	if len(meta) != 2 {
-		t.Fatalf("metadata events = %d, want 2", len(meta))
+	// Two roots (trial tree + lone adversary solve) → two named tracks,
+	// plus one process_name event naming the recording process.
+	if len(meta) != 3 {
+		t.Fatalf("metadata events = %d, want 3", len(meta))
+	}
+	procNames := 0
+	for _, ev := range meta {
+		if ev.Name == "process_name" {
+			procNames++
+		}
+	}
+	if procNames != 1 {
+		t.Fatalf("process_name events = %d, want 1", procNames)
 	}
 	if len(complete) != 3 {
 		t.Fatalf("complete events = %d, want 3", len(complete))
@@ -195,7 +205,7 @@ func TestChromeTraceOrphanIsOwnTrack(t *testing.T) {
 		{ID: 7, ParentID: 3, Stage: "lp.solve", StartNS: 10, DurationNS: 5},
 	}}
 	ct := s.ChromeTrace()
-	if len(ct.TraceEvents) != 2 {
-		t.Fatalf("events = %d, want metadata + span", len(ct.TraceEvents))
+	if len(ct.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want process_name + thread_name + span", len(ct.TraceEvents))
 	}
 }

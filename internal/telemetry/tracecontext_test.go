@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tc := TraceContext{
+		TraceID: "0123456789abcdef0123456789abcdef",
+		SpanID:  "00f067aa0ba902b7",
+	}
+	if !tc.Valid() {
+		t.Fatal("well-formed context reported invalid")
+	}
+	wire := tc.TraceParent()
+	if wire != "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01" {
+		t.Fatalf("wire = %q", wire)
+	}
+	got, err := ParseTraceParent(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v, want %+v", got, tc)
+	}
+}
+
+func TestParseTraceParentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		// Wrong version.
+		"01-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",
+		// Uppercase hex.
+		"00-0123456789ABCDEF0123456789abcdef-00f067aa0ba902b7-01",
+		// All-zero trace id.
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		// All-zero span id.
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01",
+		// Non-hex flags.
+		"00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-zz",
+		// Truncated.
+		"00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-",
+		// Separators in the wrong place.
+		"00x0123456789abcdef0123456789abcdefx00f067aa0ba902b7x01",
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceParent(s); err == nil {
+			t.Errorf("ParseTraceParent(%q) accepted", s)
+		}
+	}
+}
+
+func TestTraceContextFromEnv(t *testing.T) {
+	t.Setenv(TraceParentEnv, "")
+	if _, ok := TraceContextFromEnv(); ok {
+		t.Fatal("empty env var parsed")
+	}
+	t.Setenv(TraceParentEnv, "garbage")
+	if _, ok := TraceContextFromEnv(); ok {
+		t.Fatal("malformed env var parsed")
+	}
+	t.Setenv(TraceParentEnv, "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01")
+	tc, ok := TraceContextFromEnv()
+	if !ok || tc.TraceID != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("env parse: ok=%v tc=%+v", ok, tc)
+	}
+}
+
+func TestRegistryTraceIdentity(t *testing.T) {
+	r := NewRegistry()
+	id := r.TraceID()
+	if !isLowerHex(id, 32) || allZero(id) {
+		t.Fatalf("generated trace id %q not well-formed", id)
+	}
+	if r.TraceID() != id {
+		t.Fatal("trace id not stable across calls")
+	}
+	// Adopting an inherited context replaces the identity and remote-parents
+	// root spans.
+	tc := TraceContext{TraceID: strings.Repeat("ab", 16), SpanID: "00f067aa0ba902b7"}
+	r.SetTraceContext(tc)
+	if r.TraceID() != tc.TraceID {
+		t.Fatalf("trace id = %q after adopt, want %q", r.TraceID(), tc.TraceID)
+	}
+	r.EnableTracing(true)
+	root, ctx := r.StartSpanCtx(context.Background(), "experiments.trial", "t0")
+	child, _ := r.StartSpanCtx(ctx, "lp.solve", "d")
+	child.End()
+	root.End()
+	spans, _ := r.spans.records()
+	byStage := map[string]SpanRecord{}
+	for _, s := range spans {
+		byStage[s.Stage] = s
+	}
+	if got := byStage["experiments.trial"].RemoteParent; got != tc.SpanID {
+		t.Fatalf("root remote parent = %q, want %q", got, tc.SpanID)
+	}
+	if got := byStage["lp.solve"].RemoteParent; got != "" {
+		t.Fatalf("locally-parented span carries remote parent %q", got)
+	}
+
+	// Invalid contexts are ignored, not adopted.
+	r.SetTraceContext(TraceContext{TraceID: "short", SpanID: "also-bad"})
+	if r.TraceID() != tc.TraceID {
+		t.Fatal("invalid context overwrote the trace id")
+	}
+}
+
+func TestGlobalSpanIDs(t *testing.T) {
+	r := NewRegistry()
+	if got := r.GlobalSpanID(0); got != "" {
+		t.Fatalf("GlobalSpanID(0) = %q, want empty", got)
+	}
+	a, b := r.GlobalSpanID(1), r.GlobalSpanID(2)
+	if !isLowerHex(a, 16) || !isLowerHex(b, 16) || a == b {
+		t.Fatalf("global ids %q / %q malformed or colliding", a, b)
+	}
+	if r.GlobalSpanID(1) != a {
+		t.Fatal("global id not stable")
+	}
+	// Two registries (two processes) produce distinct global ids for the
+	// same local id, which is the whole point of the span base.
+	if NewRegistry().GlobalSpanID(1) == a {
+		t.Fatal("distinct registries share a span base")
+	}
+}
+
+func TestChildTraceContext(t *testing.T) {
+	r := NewRegistry()
+	r.SetClock(fakeClock(time.Millisecond))
+	if _, ok := r.ChildTraceContext(nil); ok {
+		t.Fatal("nil span produced a child context")
+	}
+	r.EnableTracing(true)
+	sp := r.StartSpan("shard.child", "0/2")
+	tc, ok := r.ChildTraceContext(sp)
+	if !ok || !tc.Valid() {
+		t.Fatalf("child context: ok=%v tc=%+v", ok, tc)
+	}
+	if tc.TraceID != r.TraceID() {
+		t.Fatal("child context carries a foreign trace id")
+	}
+	if tc.SpanID != r.GlobalSpanID(sp.ID()) {
+		t.Fatal("child context span id is not the span's global id")
+	}
+	// The wire form round-trips, so what the supervisor puts in the env is
+	// exactly what the child adopts.
+	got, err := ParseTraceParent(tc.TraceParent())
+	if err != nil || got != tc {
+		t.Fatalf("wire round trip: %v, %+v", err, got)
+	}
+	r.EnableTracing(false)
+	if _, ok := r.ChildTraceContext(sp); ok {
+		t.Fatal("tracing off but child context produced")
+	}
+}
+
+func TestSnapshotCarriesTraceIdentity(t *testing.T) {
+	r := NewRegistry()
+	r.SetClock(fakeClock(time.Millisecond))
+	r.EnableTracing(true)
+	r.SetLabel("unit-test")
+	sp := r.StartSpan("lp.solve", "d")
+	sp.End()
+
+	s := r.Snapshot(SnapshotOptions{Spans: true})
+	if s.TraceID == "" || s.SpanBase == "" || s.PID == 0 || s.Label != "unit-test" {
+		t.Fatalf("identity missing from snapshot: %+v", s)
+	}
+	if !isLowerHex(s.SpanBase, 16) {
+		t.Fatalf("span base %q not 16-hex", s.SpanBase)
+	}
+	// Deterministic snapshots never carry identity.
+	if d := r.Snapshot(SnapshotOptions{}); d.TraceID != "" || d.SpanBase != "" || d.PID != 0 || d.Label != "" {
+		t.Fatalf("deterministic snapshot leaked identity: %+v", d)
+	}
+	// Spans requested with tracing off (a post-run export after disabling)
+	// also omits identity.
+	r.EnableTracing(false)
+	if d := r.Snapshot(SnapshotOptions{Spans: true}); d.TraceID != "" {
+		t.Fatalf("tracing-off snapshot leaked identity: %+v", d)
+	}
+}

@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// offsetClock is a fakeClock whose origin is shifted, so two "processes"
+// record spans on overlapping but distinct wall-clock windows.
+func offsetClock(origin time.Duration, step time.Duration) func() time.Time {
+	base := fakeClock(step)
+	return func() time.Time { return base().Add(origin) }
+}
+
+// buildFleetTraces simulates a supervised 2-shard run inside one test
+// process: a parent registry supervises, hands each child registry a trace
+// context exactly as the env-var propagation would, and every registry
+// exports its own trace file.
+func buildFleetTraces(t *testing.T) []*ChromeTrace {
+	t.Helper()
+	parent := NewRegistry()
+	parent.SetClock(offsetClock(0, time.Millisecond))
+	parent.EnableTracing(true)
+	parent.SetLabel("cpsexp supervise")
+
+	sup, ctx := parent.StartSpanCtx(context.Background(), "shard.supervise", "2 shards")
+	traces := make([]*ChromeTrace, 0, 3)
+	for i := 0; i < 2; i++ {
+		childSpan, _ := parent.StartSpanCtx(ctx, "shard.child", fmt.Sprintf("%d/2", i))
+		tc, ok := parent.ChildTraceContext(childSpan)
+		if !ok {
+			t.Fatal("no child trace context")
+		}
+		// The "child process": adopts the context exactly as cli.StartRun
+		// does when it finds CPSGUARD_TRACEPARENT.
+		child := NewRegistry()
+		child.SetClock(offsetClock(time.Duration(i+1)*time.Second, time.Millisecond))
+		child.SetTraceContext(tc)
+		child.EnableTracing(true)
+		child.SetLabel(fmt.Sprintf("cpsexp shard %d/2", i))
+		root, cctx := child.StartSpanCtx(context.Background(), "experiments.trial", "t0")
+		solve, _ := child.StartSpanCtx(cctx, "lp.solve", "dispatch")
+		solve.End()
+		root.End()
+		childSpan.End()
+
+		snap := child.Snapshot(SnapshotOptions{Spans: true})
+		// Distinct fake PIDs: in production each process reports its real
+		// PID; in-process simulation must fake the distinction.
+		snap.PID = 1000 + i
+		traces = append(traces, snap.ChromeTrace())
+	}
+	sup.End()
+	psnap := parent.Snapshot(SnapshotOptions{Spans: true})
+	psnap.PID = 999
+	traces = append(traces, psnap.ChromeTrace())
+	return traces
+}
+
+func TestMergeChromeTracesStitchesFleet(t *testing.T) {
+	traces := buildFleetTraces(t)
+	merged, stats, err := MergeChromeTraces(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 3 || stats.Spans != 7 {
+		t.Fatalf("files/spans = %d/%d, want 3/7", stats.Files, stats.Spans)
+	}
+	if len(stats.PIDs) != 3 {
+		t.Fatalf("pids = %v, want 3 distinct", stats.PIDs)
+	}
+	// Each child's trial root links to the parent's shard.child span: two
+	// cross-process edges, nothing dangling.
+	if stats.CrossProcessLinks != 2 {
+		t.Fatalf("cross-process links = %d, want 2", stats.CrossProcessLinks)
+	}
+	if stats.UnresolvedParents != 0 {
+		t.Fatalf("unresolved parents = %d, want 0", stats.UnresolvedParents)
+	}
+	// One inherited trace id across the whole fleet.
+	if len(stats.TraceIDs) != 1 || merged.TraceID != stats.TraceIDs[0] {
+		t.Fatalf("trace ids = %v, merged id %q", stats.TraceIDs, merged.TraceID)
+	}
+	// The merged timeline is rebased onto the earliest file's origin.
+	if merged.BaseNS == 0 {
+		t.Fatal("merged trace lost its base instant")
+	}
+	for _, ev := range merged.TraceEvents {
+		if ev.Ph == "X" && ev.TS < 0 {
+			t.Fatalf("event %q starts before the merged origin: ts %v", ev.Name, ev.TS)
+		}
+	}
+}
+
+func TestMergeChromeTracesDeterministic(t *testing.T) {
+	traces := buildFleetTraces(t)
+	a, _, err := MergeChromeTraces(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := MergeChromeTraces(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("merging the same traces twice produced different bytes")
+	}
+}
+
+func TestMergeChromeTracesSurvivesJSONRoundTrip(t *testing.T) {
+	// In production the merge reads files off disk; args come back as
+	// map[string]any with JSON types. The gid/pgid resolution must still
+	// work.
+	traces := buildFleetTraces(t)
+	reread := make([]*ChromeTrace, len(traces))
+	for i, tr := range traces {
+		data, err := tr.MarshalIndented()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := ReadChromeTrace(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reread[i] = rt
+	}
+	_, stats, err := MergeChromeTraces(reread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CrossProcessLinks != 2 || stats.UnresolvedParents != 0 {
+		t.Fatalf("after round trip: cross=%d unresolved=%d, want 2/0",
+			stats.CrossProcessLinks, stats.UnresolvedParents)
+	}
+}
+
+func TestMergeChromeTracesRemapsCollidingPIDs(t *testing.T) {
+	// Two legacy files both claiming PID 1 (or OS PID reuse) must not be
+	// flattened into one process.
+	mk := func(label string) *ChromeTrace {
+		r := NewRegistry()
+		r.SetClock(fakeClock(time.Millisecond))
+		r.EnableTracing(true)
+		r.SetLabel(label)
+		sp := r.StartSpan("experiments.trial", label)
+		sp.End()
+		snap := r.Snapshot(SnapshotOptions{Spans: true})
+		snap.PID = 1
+		return snap.ChromeTrace()
+	}
+	merged, stats, err := MergeChromeTraces([]*ChromeTrace{mk("a"), mk("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.PIDs) != 2 || stats.PIDRemaps != 1 {
+		t.Fatalf("pids = %v remaps = %d, want 2 distinct / 1 remap", stats.PIDs, stats.PIDRemaps)
+	}
+	if merged.TraceID != "" {
+		t.Fatalf("distinct trace ids must not elect a merged id, got %q", merged.TraceID)
+	}
+}
+
+func TestMergeChromeTracesRejectsEmptyAndNil(t *testing.T) {
+	if _, _, err := MergeChromeTraces(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, _, err := MergeChromeTraces([]*ChromeTrace{nil}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestValidateTraceLinksUnresolvedAndDuplicates(t *testing.T) {
+	ct := &ChromeTrace{TraceEvents: []TraceEvent{
+		{Name: "a", Ph: "X", PID: 1, Args: map[string]any{"gid": "aaaaaaaaaaaaaaaa"}},
+		{Name: "b", Ph: "X", PID: 1, Args: map[string]any{"gid": "bbbbbbbbbbbbbbbb", "pgid": "missing0000000ff"}},
+	}}
+	stats, err := ValidateTraceLinks(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UnresolvedParents != 1 || stats.Links != 1 {
+		t.Fatalf("unresolved/links = %d/%d, want 1/1", stats.UnresolvedParents, stats.Links)
+	}
+	dup := &ChromeTrace{TraceEvents: []TraceEvent{
+		{Name: "a", Ph: "X", PID: 1, Args: map[string]any{"gid": "aaaaaaaaaaaaaaaa"}},
+		{Name: "b", Ph: "X", PID: 2, Args: map[string]any{"gid": "aaaaaaaaaaaaaaaa"}},
+	}}
+	if _, err := ValidateTraceLinks(dup); err == nil {
+		t.Fatal("duplicate gid accepted")
+	}
+}
