@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-warm bench-revised bench-shard bench-servd bench-obs bench-smoke fuzz-smoke revised-smoke crash-resume shard-smoke servd-smoke obs-smoke clean
+.PHONY: ci vet build test race bench bench-warm bench-revised bench-shard bench-servd bench-obs bench-screen bench-smoke fuzz-smoke revised-smoke crash-resume shard-smoke servd-smoke obs-smoke screen-smoke clean
 
-ci: vet build race bench-smoke fuzz-smoke revised-smoke crash-resume shard-smoke servd-smoke obs-smoke
+ci: vet build race bench-smoke fuzz-smoke revised-smoke crash-resume shard-smoke servd-smoke obs-smoke screen-smoke
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,13 @@ bench-servd:
 bench-obs:
 	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -run '^TestBenchObs$$' -count=1 -v .
 
+# N-k screening speedup report: benchmarks the depth-2 vulnerability screen
+# of a 64-region national instance and writes BENCH_screen.json pairing
+# ns/op with the screen.* counters; fails unless the dominance rule pruned
+# at least as many contingency sets as it evaluated (≥2x reduction).
+bench-screen:
+	BENCH_SCREEN_OUT=BENCH_screen.json $(GO) test -run '^TestBenchScreen$$' -count=1 -v .
+
 # One-iteration pass over every benchmark: catches benchmarks that no longer
 # compile or panic, without paying for a timed run. Part of ci.
 bench-smoke:
@@ -71,6 +78,7 @@ fuzz-smoke:
 	$(GO) test ./internal/milp/ -run=^$$ -fuzz=FuzzBranchAndBound -fuzztime=5s
 	$(GO) test ./internal/lp/ -run=^$$ -fuzz=FuzzWarmStart -fuzztime=5s
 	$(GO) test ./internal/lp/ -run=^$$ -fuzz=FuzzRevisedSimplex -fuzztime=5s
+	$(GO) test ./internal/screen/ -run=^$$ -fuzz=FuzzScreenPrune -fuzztime=5s
 
 # Revised-vs-dense differential smoke: the dense-oracle battery (fixtures,
 # outage sweeps, seeded random LPs, error taxonomy) plus the golden Fig. 5
@@ -124,12 +132,31 @@ obs-smoke:
 	$(GO) test ./internal/telemetry/ -count=1
 	$(GO) test -run 'TestMetricNames|TestDefaultRegistryExposition|TestObsSmoke' -count=1 .
 
+# N-k screening acceptance: the screen unit battery and the differential
+# oracle (screened == brute force, bit-identical), then an end-to-end binary
+# check — a screened `cpsexp -screen-k 2` run must produce a CSV
+# byte-identical to the unscreened run of the same seeded sweep while its
+# metrics snapshot shows the dominance rule actually pruned candidates.
+screen-smoke:
+	$(GO) test ./internal/screen/ -count=1
+	$(GO) test ./internal/defense/ -run 'TestPlanRedesign' -count=1
+	$(GO) build -o /tmp/cpsguard-screen-smoke/cpsexp ./cmd/cpsexp
+	rm -rf /tmp/cpsguard-screen-smoke/run
+	/tmp/cpsguard-screen-smoke/cpsexp -quick -fig 5 -seed 7 -log-level warn \
+		-csv /tmp/cpsguard-screen-smoke/run/plain >/dev/null
+	/tmp/cpsguard-screen-smoke/cpsexp -quick -fig 5 -seed 7 -log-level warn -screen-k 2 \
+		-csv /tmp/cpsguard-screen-smoke/run/screened \
+		-metrics /tmp/cpsguard-screen-smoke/run/metrics.json >/dev/null
+	cmp /tmp/cpsguard-screen-smoke/run/plain/fig5.csv /tmp/cpsguard-screen-smoke/run/screened/fig5.csv
+	grep -q '"screen.pruned": [1-9]' /tmp/cpsguard-screen-smoke/run/metrics.json
+	@echo "screen-smoke: screened CSV byte-identical to unscreened run, pruning active"
+
 # Remove build and scratch artifacts. The reference CSVs committed under
 # results/ are deliberately preserved: they are reviewed outputs, not
 # build products.
 clean:
 	$(GO) clean ./...
-	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen cpsservd BENCH_telemetry.json BENCH_warmstart.json BENCH_revised.json BENCH_shard.json BENCH_servd.json BENCH_obs.json
-	rm -rf /tmp/cpsguard-shard-smoke
+	rm -f cpsattack cpsdefend cpsexp cpsflow cpsgen cpsservd BENCH_telemetry.json BENCH_warmstart.json BENCH_revised.json BENCH_shard.json BENCH_servd.json BENCH_obs.json BENCH_screen.json
+	rm -rf /tmp/cpsguard-shard-smoke /tmp/cpsguard-screen-smoke
 	find . -name '*.journal' -not -path './results/*' -delete
 	find . -name '*.test' -delete

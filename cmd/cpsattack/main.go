@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"os"
+	"strings"
 
 	"cpsguard/internal/adversary"
 	"cpsguard/internal/cli"
@@ -36,6 +37,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics/prom, /debug/vars and /debug/pprof on this address")
 	solveCache := flag.Int("solve-cache", 0, "memoize dispatch solves in an N-entry LRU cache (0 = off); results are unchanged")
 	warmStart := flag.Bool("warm-start", false, "warm-start perturbed dispatch solves from the baseline basis")
+	screenK := flag.Int("screen-k", 0, "N-k vulnerability screening depth: prints the worst contingencies and accelerates the adversary search (0 = off; the plan is byte-identical either way)")
 	lpMethod := flag.String("lp-method", "auto", "dispatch simplex implementation: auto, dense, rows, bounded, or revised")
 	flag.Parse()
 
@@ -66,6 +68,7 @@ func main() {
 	s.Cache = solvecache.New(*solveCache)
 	s.WarmStart = *warmStart
 	s.LPMethod = method
+	s.ScreenK = *screenK
 	defer func() {
 		if st := s.Cache.Stats(); st.Capacity > 0 {
 			logger.Info("solve cache",
@@ -84,6 +87,11 @@ func main() {
 		cli.ExitCanceled(ctx, err, "interrupted while computing the ground-truth impact matrix")
 		fatal(err)
 	}
+	rank, err := s.ScreenRanking()
+	if err != nil {
+		cli.ExitCanceled(ctx, err, "ground-truth matrix done; interrupted during the vulnerability screen")
+		fatal(err)
+	}
 	view, err := s.View(*sigma, nm, rng.Derive(*seed, 1))
 	if err != nil {
 		cli.ExitCanceled(ctx, err, "ground-truth matrix done; interrupted while computing the adversary view")
@@ -91,7 +99,7 @@ func main() {
 	}
 	plan, err := adversary.SolveResilient(adversary.Config{
 		Matrix: view, Targets: s.Targets, Budget: *budget,
-		Ctx: ctx, LPMethod: method,
+		Ctx: ctx, LPMethod: method, Screen: rank,
 	})
 	if err != nil {
 		cli.ExitCanceled(ctx, err, "impact matrices done; interrupted during the target-selection search")
@@ -102,6 +110,25 @@ func main() {
 	cli.MustPrintf("system: %s\n", g)
 	cli.MustPrintf("actors: %d (seed %d)   adversary noise σ=%.2f (%s mode)\n", *nActors, *seed, *sigma, nm)
 	cli.MustPrintf("budget: %.1f at cost %.1f per target (max %d targets)\n\n", *budget, *catk, int(*budget / *catk))
+	if rank != nil {
+		certified := 0
+		for _, ts := range rank.Targets {
+			if ts.CertifiedZero {
+				certified++
+			}
+		}
+		cli.MustPrintf("vulnerability screen (N-%d): %d evaluated, %d pruned, %d/%d targets certified harmless\n",
+			rank.K, rank.Evaluated, rank.Pruned, certified, len(rank.Targets))
+		top := rank.Top
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		for i, c := range top {
+			cli.MustPrintf("  worst #%d  %-40s  welfare impact %10.2f\n",
+				i+1, strings.Join(c.Targets, " + "), c.Delta)
+		}
+		cli.MustPrintln("")
+	}
 	cli.MustPrintf("chosen targets (%d):\n", len(plan.Targets))
 	for _, t := range plan.Targets {
 		dw := truth.WelfareDelta[t]

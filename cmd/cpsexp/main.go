@@ -76,6 +76,7 @@ import (
 	"cpsguard/internal/core"
 	"cpsguard/internal/experiments"
 	"cpsguard/internal/faultinject"
+	"cpsguard/internal/gridgen"
 	"cpsguard/internal/lp"
 	"cpsguard/internal/obs"
 	"cpsguard/internal/parallel"
@@ -112,6 +113,9 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a telemetry snapshot (JSON) to this file at sweep end")
 	trace := flag.Bool("trace", false, "collect per-solve span traces and include them (plus wall-clock timings) in -metrics")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics/prom, /debug/vars, /debug/pprof and /shards/* on this address (e.g. localhost:6060)")
+	gridPath := flag.String("grid", "", "grid model JSON file (default: built-in stressed westgrid)")
+	screenK := flag.Int("screen-k", 0, "N-k vulnerability screening depth threaded into every adversary solve as a pruning front-end (0 = off; results are byte-identical either way, see DESIGN.md §17)")
+	interventions := flag.Bool("interventions", false, "run the defense-as-redesign sweep (equivalent to -fig interventions)")
 	solveCache := flag.Int("solve-cache", 0, "share an N-entry LRU dispatch-solve memo across all trials (0 = off); results are unchanged")
 	warmStart := flag.Bool("warm-start", false, "warm-start perturbed dispatch solves from each scenario's baseline basis")
 	lpMethod := flag.String("lp-method", "auto", "dispatch simplex implementation: auto, dense, rows, bounded, or revised")
@@ -231,6 +235,24 @@ func main() {
 		Cache:     cache,
 		WarmStart: *warmStart,
 		LPMethod:  method,
+		ScreenK:   *screenK,
+	}
+	// grid is the effective system whether or not -grid was given, so the
+	// interventions digest and the screen.json artifact always describe the
+	// graph the sweep actually ran on.
+	grid, err := cli.LoadModel(*gridPath, true)
+	if err != nil {
+		fatal(err)
+	}
+	if *gridPath != "" {
+		cfg.Graph = grid
+		run.AddInput(*gridPath)
+	}
+	if *interventions {
+		// The candidate menu depends on the grid file's *content*, which no
+		// flag captures — bake its digest into the sweep key so shards and
+		// merges over different menus can never be mixed.
+		sweepKeyExtra["interventions-digest"] = gridgen.InterventionSetDigest(cfg.InterventionMenu())
 	}
 	defer func() {
 		if st := cache.Stats(); st.Capacity > 0 {
@@ -314,11 +336,12 @@ func main() {
 	runners := map[string]func(experiments.Config) (*stats.Table, error){
 		"2": experiments.Fig2, "3": experiments.Fig3, "4": experiments.Fig4,
 		"5": experiments.Fig5, "6": experiments.Fig6, "7": experiments.Fig7,
-		"baseline":  experiments.BaselineComparison,
-		"deception": experiments.Deception,
-		"vectors":   experiments.AttackVectors,
-		"security":  experiments.SecurityPremium,
-		"hardening": experiments.HardeningComparison,
+		"baseline":      experiments.BaselineComparison,
+		"deception":     experiments.Deception,
+		"vectors":       experiments.AttackVectors,
+		"security":      experiments.SecurityPremium,
+		"hardening":     experiments.HardeningComparison,
+		"interventions": experiments.Interventions,
 	}
 	var order []string
 	if *fig == "all" {
@@ -328,7 +351,14 @@ func main() {
 	} else if _, ok := runners[*fig]; ok {
 		order = []string{*fig}
 	} else {
-		fatal(fmt.Errorf("unknown figure %q (want 2..7, all, ext, baseline, deception, vectors)", *fig))
+		fatal(fmt.Errorf("unknown figure %q (want 2..7, all, ext, baseline, deception, vectors, interventions)", *fig))
+	}
+	if *interventions {
+		if *fig == "all" {
+			order = []string{"interventions"} // shorthand: redesign sweep only
+		} else if *fig != "interventions" {
+			order = append(order, "interventions")
+		}
 	}
 
 	var csvOutputs []string
@@ -363,6 +393,21 @@ func main() {
 			logger.Info("wrote csv", obs.F("path", path), obs.F("bytes", len(data)),
 				obs.F("crc32", fmt.Sprintf("%08x", tb.Checksum())))
 		}
+	}
+	// With screening on, persist the grid's vulnerability ranking next to the
+	// run's other artifacts so cpsreport can render it. The ranking is the
+	// same deterministic screen every trial scenario reuses internally.
+	if *screenK > 0 && *obsDir != "" && sr == nil {
+		data, err := screenArtifact(grid, *screenK, *seed, cache, method)
+		if err != nil {
+			fatal(fmt.Errorf("screen artifact: %w", err))
+		}
+		path := filepath.Join(*obsDir, "screen.json")
+		if err := atomicio.MkdirAllAndWrite(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		run.AddOutput(path)
+		logger.Info("wrote screen ranking", obs.F("path", path), obs.F("k", *screenK))
 	}
 	if sweep := cfg.Sweep; sweep != nil && sweep.Journal != nil {
 		logger.Info("journal summary", obs.F("journal", sweep.Journal.Path()),

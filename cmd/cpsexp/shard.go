@@ -30,7 +30,14 @@ import (
 // Shards and merges must agree on these for their journals to describe the
 // same trial space; observability, caching, and sharding flags are excluded
 // because they never change which trials run or what they produce.
-var sweepKeyFlags = []string{"fig", "trials", "seed", "mode", "quick", "max-fault-rate", "chaos"}
+var sweepKeyFlags = []string{"fig", "trials", "seed", "mode", "quick", "max-fault-rate", "chaos",
+	"screen-k", "interventions", "grid"}
+
+// sweepKeyExtra holds result-affecting facts that no flag value captures —
+// today the interventions candidate-menu digest, which depends on the
+// *content* of the -grid file, not just its path. main() populates it before
+// any sweep key is computed.
+var sweepKeyExtra = map[string]string{}
 
 // sweepKey fingerprints the effective sweep configuration. It reuses the
 // manifest's order-insensitive flag checksum, so defaulted and explicit
@@ -41,6 +48,9 @@ func sweepKey() string {
 		if f := flag.Lookup(name); f != nil {
 			vals[name] = f.Value.String()
 		}
+	}
+	for k, v := range sweepKeyExtra {
+		vals[k] = v
 	}
 	return manifest.ConfigChecksum(vals)
 }
@@ -229,6 +239,7 @@ func childArgs(index, count int, parentDir, reportURL string) []string {
 		args = append(args, "-shard-report", reportURL)
 	}
 	for _, name := range []string{"fig", "trials", "seed", "mode", "quick", "max-fault-rate", "chaos",
+		"screen-k", "interventions", "grid",
 		"retries", "trial-timeout", "solve-cache", "warm-start", "log-level"} {
 		f := flag.Lookup(name)
 		if f == nil || f.Value.String() == f.DefValue {

@@ -26,6 +26,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +39,7 @@ import (
 	"cpsguard/internal/cli"
 	"cpsguard/internal/manifest"
 	"cpsguard/internal/obs"
+	"cpsguard/internal/screen"
 	"cpsguard/internal/telemetry"
 )
 
@@ -117,6 +119,19 @@ func loadRun(dir, journalPath string) (*runData, error) {
 		miss("metrics.json: %v", err)
 	} else {
 		d.Snapshot = snap
+	}
+
+	// screen.json only exists for -screen-k runs, so its absence is normal —
+	// no Missing note; a present-but-corrupt file still degrades loudly.
+	if data, err := os.ReadFile(filepath.Join(dir, "screen.json")); err == nil {
+		var r screen.Ranking
+		if err := json.Unmarshal(data, &r); err != nil {
+			miss("screen.json: %v", err)
+		} else {
+			d.Screen = &r
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		miss("screen.json: %v", err)
 	}
 
 	if data, err := os.ReadFile(filepath.Join(dir, "trace.json")); err != nil {

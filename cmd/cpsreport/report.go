@@ -11,6 +11,7 @@ import (
 	"cpsguard/internal/checkpoint"
 	"cpsguard/internal/manifest"
 	"cpsguard/internal/obs"
+	"cpsguard/internal/screen"
 	"cpsguard/internal/telemetry"
 )
 
@@ -20,6 +21,9 @@ const maxTrialRows = 50
 
 // maxEventRows bounds the warn/error event listing.
 const maxEventRows = 20
+
+// maxScreenRows bounds the vulnerability-ranking tables.
+const maxScreenRows = 10
 
 // runData is everything cpsreport could load for one run directory. Only
 // Manifest is mandatory; every other artifact degrades to a "missing" note
@@ -31,6 +35,9 @@ type runData struct {
 	Trace    *telemetry.ChromeTrace
 	Events   []obs.DecodedEvent
 	Journal  *checkpoint.Replay
+	// Screen is the N-k vulnerability ranking a -screen-k run leaves behind
+	// as screen.json; nil for unscreened runs.
+	Screen *screen.Ranking
 	// Missing lists artifacts that could not be loaded, with reasons.
 	Missing []string
 }
@@ -159,6 +166,7 @@ func renderReport(d *runData) string {
 
 	renderFlags(&b, m.Flags)
 	renderArtifacts(&b, m)
+	renderScreen(&b, d)
 	renderStages(&b, d)
 	renderTrials(&b, d)
 	renderFallbacks(&b, d)
@@ -202,6 +210,50 @@ func renderArtifacts(b *strings.Builder, m *manifest.Manifest) {
 		row("output", d)
 	}
 	b.WriteString("\n")
+}
+
+// renderScreen renders the N-k vulnerability ranking: the worst contingency
+// sets by welfare impact, the worst single targets, and how much of the
+// contingency space the dominance rule certified away (see DESIGN.md §17).
+func renderScreen(b *strings.Builder, d *runData) {
+	r := d.Screen
+	if r == nil {
+		return
+	}
+	fmt.Fprintf(b, "## Vulnerability screen (N-%d)\n\n", r.K)
+	mode := "monotone (dominance pruning active)"
+	if !r.Monotone {
+		mode = "non-monotone (reorder-only; nothing pruned)"
+	}
+	fmt.Fprintf(b, "Baseline welfare %.2f; %s; %d contingency sets evaluated, %d pruned as dominated.\n\n",
+		r.BaselineWelfare, mode, r.Evaluated, r.Pruned)
+	if r.Truncated {
+		b.WriteString("> ranking truncated: the contingency space exceeded the screen budget\n\n")
+	}
+
+	if len(r.Top) > 0 {
+		certified := 0
+		for _, ts := range r.Targets {
+			if ts.CertifiedZero {
+				certified++
+			}
+		}
+		b.WriteString("| rank | contingency | welfare impact | inherited |\n|---:|---|---:|:---:|\n")
+		for i, c := range r.Top {
+			if i >= maxScreenRows {
+				fmt.Fprintf(b, "\n(%d more contingency sets omitted)\n", len(r.Top)-maxScreenRows)
+				break
+			}
+			inh := ""
+			if c.Inherited {
+				inh = "✓"
+			}
+			fmt.Fprintf(b, "| %d | `%s` | %.2f | %s |\n",
+				i+1, cell(strings.Join(c.Targets, " + ")), c.Delta, inh)
+		}
+		fmt.Fprintf(b, "\n%d of %d single targets certified harmless (zero welfare impact at every depth).\n\n",
+			certified, len(r.Targets))
+	}
 }
 
 func renderStages(b *strings.Builder, d *runData) {

@@ -9,6 +9,7 @@ import (
 
 	"cpsguard/internal/manifest"
 	"cpsguard/internal/obs"
+	"cpsguard/internal/screen"
 	"cpsguard/internal/telemetry"
 )
 
@@ -72,6 +73,83 @@ func TestRenderReportSections(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q\n---\n%s", want, out)
 		}
+	}
+}
+
+// TestRenderReportScreenSection: a run with a screen.json ranking gets the
+// vulnerability table — worst contingencies ranked, inherited certificates
+// marked, certified-zero targets counted — and an unscreened run gets none.
+func TestRenderReportScreenSection(t *testing.T) {
+	d := syntheticRun(t)
+	if out := renderReport(d); strings.Contains(out, "Vulnerability screen") {
+		t.Fatalf("unscreened run must not render a screen section:\n%s", out)
+	}
+	d.Screen = &screen.Ranking{
+		K: 2, BaselineWelfare: 1234.5, Monotone: true,
+		Worst: screen.Contingency{Targets: []string{"tx:a", "tx:b"}, Delta: -200},
+		Top: []screen.Contingency{
+			{Targets: []string{"tx:a", "tx:b"}, Delta: -200},
+			{Targets: []string{"tx:a", "pipe:c"}, Delta: -150, Inherited: true},
+		},
+		Targets: []screen.TargetScore{
+			{ID: "tx:a", Delta: -180},
+			{ID: "pipe:c", Delta: 0, CertifiedZero: true},
+		},
+		Evaluated: 40, Pruned: 60,
+	}
+	out := renderReport(d)
+	for _, want := range []string{
+		"## Vulnerability screen (N-2)",
+		"monotone (dominance pruning active)",
+		"40 contingency sets evaluated, 60 pruned as dominated",
+		"| 1 | `tx:a + tx:b` | -200.00 |",
+		"| 2 | `tx:a + pipe:c` | -150.00 | ✓ |",
+		"1 of 2 single targets certified harmless",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("screen section missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadRunReadsScreenArtifact: loadRun picks up screen.json when present
+// and degrades with a Missing note (not an error) when it is corrupt.
+func TestLoadRunReadsScreenArtifact(t *testing.T) {
+	dir := t.TempDir()
+	m := manifest.New("cpsexp", 7)
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	good := `{"k":1,"baseline_welfare":10,"monotone":true,"worst":{"targets":["tx:a"],"welfare_delta":-5},"top":[],"targets":[],"evaluated":3,"pruned":1}`
+	if err := os.WriteFile(filepath.Join(dir, "screen.json"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadRun(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Screen == nil || d.Screen.K != 1 || d.Screen.Pruned != 1 {
+		t.Fatalf("screen.json not loaded: %+v", d.Screen)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "screen.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err = loadRun(dir, "")
+	if err != nil {
+		t.Fatalf("corrupt screen.json must degrade, not abort: %v", err)
+	}
+	if d.Screen != nil {
+		t.Fatal("corrupt screen.json parsed into a ranking")
+	}
+	found := false
+	for _, miss := range d.Missing {
+		if strings.Contains(miss, "screen.json") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corrupt screen.json not surfaced in Missing: %v", d.Missing)
 	}
 }
 

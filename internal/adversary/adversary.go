@@ -25,6 +25,7 @@ import (
 	"cpsguard/internal/impact"
 	"cpsguard/internal/lp"
 	"cpsguard/internal/milp"
+	"cpsguard/internal/screen"
 	"cpsguard/internal/telemetry"
 )
 
@@ -79,6 +80,15 @@ type Config struct {
 	// relaxations (SolveMILP and the SolveResilient fallback chain). The
 	// exact and greedy searches are combinatorial and unaffected.
 	LPMethod lp.Method
+	// Screen, when non-nil, is an N-k vulnerability ranking used as a
+	// candidate-pruning front-end: targets the screen certified as unable
+	// to change the dispatch optimum AND whose optimistic net value is
+	// strictly negative are dropped from the search order. The plan is
+	// bit-identical to the unscreened search (see DESIGN.md §17) — the
+	// filter runs after the optimistic-value sort, so survivors keep their
+	// exact relative order, and a dropped target strictly decreases every
+	// set's value, so it can never appear in the final argmax.
+	Screen *screen.Ranking
 }
 
 func (c Config) checkEvery() int {
@@ -162,6 +172,40 @@ func newInstance(cfg Config) (*instance, error) {
 	return in, nil
 }
 
+// searchOrder returns the target indices to search, best optimistic value
+// first, optionally filtered through the screen. The filter runs on the
+// *sorted* order — never on the instance arrays or the pre-sort index set —
+// so the relative order of surviving targets is exactly the one the
+// unscreened sort produced (sort.Slice is unstable; sorting a different
+// slice could reorder equal-opt survivors and change tie resolution in the
+// DFS). A target is dropped only when both hold:
+//
+//   - opt[i] < −1e-9: its optimistic net value is strictly negative, so by
+//     subadditivity adding it strictly decreases any set's value — it can
+//     never be in the final argmax (soundness rests on this alone);
+//   - the screen certified it as zero-impact: the relevance gate that keeps
+//     the filter scoped to what the N-k screen actually proved.
+func (in *instance) searchOrder(cfg Config) []int {
+	order := make([]int, len(in.ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return in.opt[order[a]] > in.opt[order[b]] })
+	if cfg.Screen == nil {
+		return order
+	}
+	kept := order[:0]
+	for _, i := range order {
+		if in.opt[i] < -1e-9 && cfg.Screen.CertifiedZero(in.ids[i]) {
+			mScreenPruned.Inc()
+			continue
+		}
+		kept = append(kept, i)
+	}
+	mScreenKept.Add(int64(len(kept)))
+	return kept
+}
+
 // value computes the exact objective of a target set (indices) with the
 // closed-form optimal actor choice, returning the value and chosen actors.
 func (in *instance) value(set []int) (float64, []int) {
@@ -212,13 +256,9 @@ func Solve(cfg Config) (plan *Plan, err error) {
 		maxNodes = 2_000_000
 	}
 
-	// Order targets by optimistic value, best first: improves both the
-	// greedy incumbent and pruning.
-	order := make([]int, len(in.ids))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return in.opt[order[a]] > in.opt[order[b]] })
+	// Order targets by optimistic value, best first (improves both the
+	// greedy incumbent and pruning), screen-filtered when configured.
+	order := in.searchOrder(cfg)
 
 	// Greedy incumbent.
 	greedySet := in.greedy(order)
@@ -424,12 +464,7 @@ func SolveGreedy(cfg Config) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	order := make([]int, len(in.ids))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return in.opt[order[a]] > in.opt[order[b]] })
-	set := in.greedy(order)
+	set := in.greedy(in.searchOrder(cfg))
 	return in.plan(set, len(set), false), nil
 }
 

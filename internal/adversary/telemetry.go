@@ -15,6 +15,10 @@ var (
 	mFallbacks     = telemetry.NewCounter("adversary.fallbacks")
 	mNodesHist     = telemetry.NewHistogram("adversary.nodes_per_solve", telemetry.WorkEdges)
 	mFallbackDepth = telemetry.NewHistogram("adversary.fallback_depth", telemetry.DepthEdges)
+	// Screen front-end: candidates dropped from vs kept in the search
+	// order when a vulnerability ranking is attached (Config.Screen).
+	mScreenPruned = telemetry.NewCounter("adversary.screen_pruned")
+	mScreenKept   = telemetry.NewCounter("adversary.screen_kept")
 )
 
 // recordSolve books one exact Solve outcome and closes its span.

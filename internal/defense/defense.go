@@ -29,6 +29,7 @@ import (
 	"cpsguard/internal/noise"
 	"cpsguard/internal/parallel"
 	"cpsguard/internal/rng"
+	"cpsguard/internal/screen"
 	"cpsguard/internal/telemetry"
 )
 
@@ -333,6 +334,26 @@ func PlanCollaborative(cfg CollaborativeConfig) (inv *CollabInvestment, err erro
 func EstimateAttackProb(believed *impact.Matrix, targets []adversary.Target,
 	budget float64, sigmaSpec float64, samples int, seed uint64,
 	par parallel.Options) (map[string]float64, error) {
+	return EstimateAttackProbOpts(believed, targets, budget, sigmaSpec, samples, seed, par, PaOptions{})
+}
+
+// PaOptions extends Pa estimation with optional accelerators.
+type PaOptions struct {
+	// Screen, when set, is threaded into every per-sample adversary solve
+	// as a candidate-pruning front-end. This is sound under matrix noise
+	// because noise.PerturbMatrix keeps exact zeros exactly zero: a
+	// certified-zero target stays zero in every perturbed view, and the
+	// adversary filter additionally requires a strictly negative
+	// standalone impact in the sample's own matrix before dropping a
+	// candidate, so each sample's plan is bit-identical to its unscreened
+	// twin (see DESIGN.md §17).
+	Screen *screen.Ranking
+}
+
+// EstimateAttackProbOpts is EstimateAttackProb with options.
+func EstimateAttackProbOpts(believed *impact.Matrix, targets []adversary.Target,
+	budget float64, sigmaSpec float64, samples int, seed uint64,
+	par parallel.Options, opts PaOptions) (map[string]float64, error) {
 	if samples <= 0 {
 		return nil, errors.New("defense: samples must be positive")
 	}
@@ -350,7 +371,7 @@ func EstimateAttackProb(believed *impact.Matrix, targets []adversary.Target,
 		view.IM = noise.PerturbMatrix(believed.IM, sigmaSpec, rs)
 		p, err := adversary.SolveResilient(adversary.Config{
 			Matrix: &view, Targets: targets, Budget: budget,
-			Ctx: par.Context,
+			Ctx: par.Context, Screen: opts.Screen,
 		})
 		if err != nil {
 			return nil, err

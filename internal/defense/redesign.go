@@ -1,0 +1,172 @@
+// Defense as redesign: instead of (or alongside) guarding existing assets,
+// the defender spends her capital budget changing the grid's design —
+// building new corridors or upgrading capacities — so that the worst-case
+// N-k contingency simply hurts less. Candidate interventions come from
+// gridgen.CandidateInterventions (or any caller-supplied menu); each is
+// valued by the drop in screened worst-case welfare damage it buys, and the
+// selection under budget is the same exact 0/1 knapsack the paper's Eq. 12
+// planner uses.
+package defense
+
+import (
+	"errors"
+	"fmt"
+
+	"cpsguard/internal/actors"
+	"cpsguard/internal/graph"
+	"cpsguard/internal/impact"
+	"cpsguard/internal/knapsack"
+	"cpsguard/internal/parallel"
+	"cpsguard/internal/screen"
+	"cpsguard/internal/solvecache"
+)
+
+// RedesignConfig states the redesign problem.
+type RedesignConfig struct {
+	// Graph is the current system design.
+	Graph *graph.Graph
+	// Ownership partitions the assets (welfare screening is ownership-
+	// independent, but the analyses carry it so profit decompositions in
+	// shared caches stay scenario-consistent).
+	Ownership actors.Ownership
+	// Candidates is the redesign menu (see gridgen.CandidateInterventions).
+	Candidates []graph.Intervention
+	// Budget is the capital budget Σ Cost(chosen) must respect.
+	Budget float64
+	// ScreenK is the outage depth of the vulnerability screen valuing each
+	// candidate (default 2).
+	ScreenK int
+	// Targets is the outage threat set the screen ranges over; defaults to
+	// every asset of Graph. The same set is used before and after each
+	// intervention so values compare like with like.
+	Targets []string
+	// MaxSets bounds each screen's enumeration budget (0 = unbounded).
+	MaxSets int
+	// Parallel tunes the LP fan-out inside each screen.
+	Parallel parallel.Options
+}
+
+func (c RedesignConfig) screenK() int {
+	if c.ScreenK > 0 {
+		return c.ScreenK
+	}
+	return 2
+}
+
+// RedesignPlan is the outcome of PlanRedesign.
+type RedesignPlan struct {
+	// Baseline is the vulnerability ranking of the un-redesigned grid.
+	Baseline *screen.Ranking `json:"baseline"`
+	// Chosen is the selected intervention set, in menu order.
+	Chosen []graph.Intervention `json:"chosen"`
+	// Spent is the capital actually committed.
+	Spent float64 `json:"spent"`
+	// BaselineWorstDamage and ResidualWorstDamage are the screened
+	// worst-case welfare damages (≥ 0) before and after the redesign.
+	BaselineWorstDamage float64 `json:"baseline_worst_damage"`
+	ResidualWorstDamage float64 `json:"residual_worst_damage"`
+	// Values maps candidate ID → standalone averted damage (the knapsack
+	// value), including candidates that were not chosen.
+	Values map[string]float64 `json:"values"`
+	// Graph is the redesigned grid with Chosen built.
+	Graph *graph.Graph `json:"-"`
+}
+
+// worstDamage extracts the nonnegative damage of a ranking's worst set.
+func worstDamage(r *screen.Ranking) float64 {
+	if d := -r.Worst.Delta; d > 0 {
+		return d
+	}
+	return 0
+}
+
+func (cfg RedesignConfig) screenGraph(g *graph.Graph) (*screen.Ranking, error) {
+	an := &impact.Analysis{
+		Graph: g, Ownership: cfg.Ownership,
+		Cache: solvecache.New(8192), Parallel: cfg.Parallel,
+	}
+	return screen.Run(screen.Config{
+		Analysis: an, Targets: cfg.Targets, K: cfg.screenK(), MaxSets: cfg.MaxSets,
+	})
+}
+
+// PlanRedesign values every candidate intervention by the reduction in
+// screened worst-case damage it achieves alone, selects a set under the
+// capital budget with the exact knapsack, and returns the redesigned grid
+// with its residual vulnerability. Deterministic for fixed inputs. Panics
+// in the knapsack layer are recovered and returned as errors, matching the
+// other planners.
+func PlanRedesign(cfg RedesignConfig) (plan *RedesignPlan, err error) {
+	defer func() {
+		mRedesigns.Inc()
+		if err != nil {
+			mPlanErrors.Inc()
+			return
+		}
+		mBuilt.Add(int64(len(plan.Chosen)))
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, fmt.Errorf("defense: redesign plan panicked: %v", r)
+		}
+	}()
+	if cfg.Graph == nil {
+		return nil, errors.New("defense: nil graph")
+	}
+	if cfg.Targets == nil {
+		cfg.Targets = cfg.Graph.AssetIDs()
+	}
+	for _, iv := range cfg.Candidates {
+		if err := iv.Validate(cfg.Graph); err != nil {
+			return nil, err
+		}
+	}
+	mCandidates.Add(int64(len(cfg.Candidates)))
+
+	base, err := cfg.screenGraph(cfg.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("defense: baseline screen: %w", err)
+	}
+	baseDamage := worstDamage(base)
+
+	values := make([]float64, len(cfg.Candidates))
+	costs := make([]float64, len(cfg.Candidates))
+	byID := make(map[string]float64, len(cfg.Candidates))
+	for i, iv := range cfg.Candidates {
+		gi, err := graph.ApplyInterventions(cfg.Graph, iv)
+		if err != nil {
+			return nil, fmt.Errorf("defense: candidate %s: %w", iv.ID, err)
+		}
+		ri, err := cfg.screenGraph(gi)
+		if err != nil {
+			return nil, fmt.Errorf("defense: screening candidate %s: %w", iv.ID, err)
+		}
+		values[i] = baseDamage - worstDamage(ri)
+		costs[i] = iv.Cost
+		byID[iv.ID] = values[i]
+	}
+
+	chosen, _ := knapsack.Solve(values, costs, cfg.Budget)
+	plan = &RedesignPlan{
+		Baseline:            base,
+		BaselineWorstDamage: baseDamage,
+		Values:              byID,
+	}
+	ivs := make([]graph.Intervention, 0, len(chosen))
+	for _, i := range chosen {
+		ivs = append(ivs, cfg.Candidates[i])
+		plan.Spent += costs[i]
+	}
+	plan.Chosen = ivs
+
+	plan.Graph, err = graph.ApplyInterventions(cfg.Graph, ivs...)
+	if err != nil {
+		return nil, fmt.Errorf("defense: building chosen set: %w", err)
+	}
+	final, err := cfg.screenGraph(plan.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("defense: residual screen: %w", err)
+	}
+	plan.ResidualWorstDamage = worstDamage(final)
+	return plan, nil
+}

@@ -1,0 +1,103 @@
+package defense
+
+import (
+	"testing"
+
+	"cpsguard/internal/actors"
+	"cpsguard/internal/gridgen"
+	"cpsguard/internal/rng"
+)
+
+func TestPlanRedesignReducesWorstCase(t *testing.T) {
+	g, err := gridgen.Build(gridgen.Config{Regions: 2, Seed: 4, Stress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := actors.RandomOwnership(g, 3, rng.New(1))
+	cands := gridgen.CandidateInterventions(g, gridgen.InterventionOptions{Max: 6})
+	budget := 0.0
+	for _, iv := range cands {
+		budget += iv.Cost
+	}
+	plan, err := PlanRedesign(RedesignConfig{
+		Graph: g, Ownership: own, Candidates: cands, Budget: budget / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Spent > budget/2+1e-9 {
+		t.Errorf("spent %v over budget %v", plan.Spent, budget/2)
+	}
+	if plan.ResidualWorstDamage > plan.BaselineWorstDamage+1e-9 {
+		t.Errorf("redesign made things worse: residual %v > baseline %v",
+			plan.ResidualWorstDamage, plan.BaselineWorstDamage)
+	}
+	if plan.BaselineWorstDamage <= 0 {
+		t.Error("stressed 2-region grid should have a damaging worst contingency")
+	}
+	if len(plan.Values) != len(cands) {
+		t.Errorf("valued %d candidates, menu has %d", len(plan.Values), len(cands))
+	}
+	for _, iv := range plan.Chosen {
+		// The chosen set must actually be built into the returned graph.
+		if iv.NewEdge != nil {
+			if plan.Graph.Edge(iv.NewEdge.ID) == nil {
+				t.Errorf("chosen %s not built", iv.ID)
+			}
+			continue
+		}
+		want := g.Edge(iv.UpgradeEdge).Capacity + iv.CapacityDelta
+		if got := plan.Graph.Edge(iv.UpgradeEdge).Capacity; got != want {
+			t.Errorf("chosen %s: capacity %v, want %v", iv.ID, got, want)
+		}
+	}
+}
+
+func TestPlanRedesignDeterministic(t *testing.T) {
+	g, err := gridgen.Build(gridgen.Config{Regions: 2, Seed: 9, Stress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := actors.RandomOwnership(g, 2, rng.New(2))
+	cands := gridgen.CandidateInterventions(g, gridgen.InterventionOptions{Max: 4})
+	run := func() *RedesignPlan {
+		p, err := PlanRedesign(RedesignConfig{
+			Graph: g, Ownership: own, Candidates: cands, Budget: 500, ScreenK: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := run(), run()
+	if len(a.Chosen) != len(b.Chosen) || a.Spent != b.Spent ||
+		a.ResidualWorstDamage != b.ResidualWorstDamage {
+		t.Errorf("two identical redesign runs differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Chosen {
+		if a.Chosen[i].ID != b.Chosen[i].ID {
+			t.Errorf("chosen[%d] %s != %s", i, a.Chosen[i].ID, b.Chosen[i].ID)
+		}
+	}
+	for id, v := range a.Values {
+		if b.Values[id] != v {
+			t.Errorf("value %s: %v != %v", id, v, b.Values[id])
+		}
+	}
+}
+
+func TestPlanRedesignRejectsBadCandidates(t *testing.T) {
+	g, err := gridgen.Build(gridgen.Config{Regions: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := gridgen.CandidateInterventions(g, gridgen.InterventionOptions{Max: 2})
+	cands[0].UpgradeEdge = "no-such-edge"
+	cands[0].NewEdge = nil
+	if _, err := PlanRedesign(RedesignConfig{Graph: g, Candidates: cands, Budget: 100}); err == nil {
+		t.Fatal("redesign accepted a candidate referencing a missing edge")
+	}
+	if _, err := PlanRedesign(RedesignConfig{Budget: 100}); err == nil {
+		t.Fatal("redesign accepted a nil graph")
+	}
+}

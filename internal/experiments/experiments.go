@@ -102,6 +102,22 @@ type Config struct {
 	// trial's scenario (zero value lp.MethodAuto keeps the solver's own
 	// choice; lp.MethodRevised selects the sparse revised simplex).
 	LPMethod lp.Method
+	// ScreenK, when > 0, runs an N-k vulnerability screen of this depth
+	// per scenario and threads the ranking into every adversary solve as
+	// a pruning front-end. Purely an accelerator: screened figures are
+	// byte-identical to unscreened ones (DESIGN.md §17).
+	ScreenK int
+	// InterventionBudget is the capital budget of the Interventions sweep
+	// (default: half the candidate menu's total cost).
+	InterventionBudget float64
+	// InterventionMax caps the candidate menu of the Interventions sweep
+	// (default 12).
+	InterventionMax int
+	// TrialIndices, when non-nil, restricts the Interventions sweep to
+	// these trial (candidate) indices. Trial identity follows the absolute
+	// index, so sparse pieces journal exactly what a dense run would and
+	// merge losslessly (see runTrialsAt).
+	TrialIndices []int
 }
 
 func (c Config) graph() *graph.Graph {
@@ -162,6 +178,7 @@ func (c Config) scenarioFor(n int, trial int) *core.Scenario {
 	s.Cache = c.Cache
 	s.WarmStart = c.WarmStart
 	s.LPMethod = c.LPMethod
+	s.ScreenK = c.ScreenK
 	return s
 }
 
@@ -237,9 +254,13 @@ func Fig3(cfg Config) (*stats.Table, error) {
 					if err != nil {
 						return 0, err
 					}
+					rank, err := s.ScreenRanking()
+					if err != nil {
+						return 0, err
+					}
 					plan, err := adversary.SolveResilient(adversary.Config{
 						Matrix: view, Targets: s.Targets, Budget: cfg.attackBudget(),
-						Ctx: ctx, LPMethod: cfg.LPMethod,
+						Ctx: ctx, LPMethod: cfg.LPMethod, Screen: rank,
 					})
 					if err != nil {
 						return 0, err
@@ -286,9 +307,13 @@ func Fig4(cfg Config) (*stats.Table, error) {
 				if err != nil {
 					return pair{}, err
 				}
+				rank, err := s.ScreenRanking()
+				if err != nil {
+					return pair{}, err
+				}
 				plan, err := adversary.SolveResilient(adversary.Config{
 					Matrix: view, Targets: s.Targets, Budget: cfg.attackBudget(),
-					Ctx: ctx, LPMethod: cfg.LPMethod,
+					Ctx: ctx, LPMethod: cfg.LPMethod, Screen: rank,
 				})
 				if err != nil {
 					return pair{}, err

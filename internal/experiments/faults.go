@@ -118,11 +118,28 @@ var errTrialNotAssigned = errors.New("experiments: trial owned by another shard"
 func runTrials[T any](cfg Config, point string,
 	fn func(ctx context.Context, trial int) (T, error)) ([]T, error) {
 	n := cfg.trials()
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return runTrialsAt(cfg, point, idxs, fn)
+}
+
+// runTrialsAt is runTrials over an explicit, possibly sparse, set of trial
+// indices. Trial identity (journal IDs, shard ownership, per-trial seeds
+// derived from the index) follows the absolute index, not the position in
+// idxs, so a sweep evaluated in sparse pieces — different index subsets per
+// process — journals exactly the trials a dense run would, and the merged
+// journals replay byte-identical to one dense pass. This is what lets
+// intervention sweeps, whose trial axis is a candidate menu rather than a
+// 0..n-1 ownership draw, shard and resume safely.
+func runTrialsAt[T any](cfg Config, point string, idxs []int,
+	fn func(ctx context.Context, trial int) (T, error)) ([]T, error) {
 	pol := cfg.Faults
 	seed := cfg.seed()
 	owns := func(i int) bool { return cfg.Shard == nil || cfg.Shard.Owns(i) }
 	planned := 0
-	for i := 0; i < n; i++ {
+	for _, i := range idxs {
 		if owns(i) {
 			planned++
 		}
@@ -139,7 +156,10 @@ func runTrials[T any](cfg Config, point string,
 	}
 	log := cfg.Log.WithStage(point)
 	log.Debug("point started", obs.F("trials", planned))
-	wrapped := func(ctx context.Context, i int) (T, error) {
+	// The pool maps over positions in idxs; everything identity-bearing
+	// uses the absolute trial index idxs[p].
+	wrapped := func(ctx context.Context, p int) (T, error) {
+		i := idxs[p]
 		if !owns(i) {
 			var zero T
 			return zero, errTrialNotAssigned
@@ -160,7 +180,8 @@ func runTrials[T any](cfg Config, point string,
 	// Per-trial accounting streams as each trial settles (it used to be
 	// batched after the whole point), chaining any caller-provided hook.
 	chained := par.OnSettle
-	par.OnSettle = func(i int, err error) {
+	par.OnSettle = func(p int, err error) {
+		i := idxs[p]
 		if errors.Is(err, errTrialNotAssigned) {
 			return // another shard's trial: no accounting at all
 		}
@@ -171,10 +192,10 @@ func runTrials[T any](cfg Config, point string,
 		}
 		pol.Log.record(point, i, err)
 		if chained != nil {
-			chained(i, err)
+			chained(p, err)
 		}
 	}
-	results, errs, ctxErr := parallel.MapSettle(n, par, wrapped)
+	results, errs, ctxErr := parallel.MapSettle(len(idxs), par, wrapped)
 	if ctxErr != nil {
 		log.Error("point canceled", obs.F("err", ctxErr))
 		return nil, fmt.Errorf("experiments: %s: %w", point, ctxErr)
@@ -182,7 +203,7 @@ func runTrials[T any](cfg Config, point string,
 	ok := results[:0:0]
 	failed := 0
 	var firstErr error
-	for i, err := range errs {
+	for p, err := range errs {
 		if errors.Is(err, errTrialNotAssigned) {
 			continue
 		}
@@ -193,7 +214,7 @@ func runTrials[T any](cfg Config, point string,
 			}
 			continue
 		}
-		ok = append(ok, results[i])
+		ok = append(ok, results[p])
 	}
 	if failed == 0 {
 		log.Debug("point finished", obs.F("trials", planned))

@@ -1,0 +1,77 @@
+// Design interventions: the defense-as-redesign counterpart of attack
+// perturbations (after Oruganti et al., arXiv:2302.05411). Where package
+// impact perturbs an existing grid downward (outages), an Intervention
+// changes the grid's design upward — a new edge, or extra capacity on an
+// existing one — at a capital cost the defender pays from a budget.
+package graph
+
+import "fmt"
+
+// Intervention is one candidate design change.
+type Intervention struct {
+	// ID names the intervention (unique within a candidate set; by
+	// convention "ivnew:<edge>" for new edges and "ivup:<edge>" for
+	// capacity upgrades).
+	ID string `json:"id"`
+	// NewEdge, when non-nil, is an edge added to the grid. Its ID must not
+	// collide with an existing edge.
+	NewEdge *Edge `json:"new_edge,omitempty"`
+	// UpgradeEdge names an existing edge whose capacity is raised by
+	// CapacityDelta (ignored when NewEdge is set).
+	UpgradeEdge string `json:"upgrade_edge,omitempty"`
+	// CapacityDelta is the capacity added to UpgradeEdge (must be > 0).
+	CapacityDelta float64 `json:"capacity_delta,omitempty"`
+	// Cost is the capital cost of building this intervention.
+	Cost float64 `json:"cost"`
+}
+
+// Validate checks the intervention is well-formed against g (which it does
+// not modify).
+func (iv Intervention) Validate(g *Graph) error {
+	if iv.ID == "" {
+		return fmt.Errorf("%w: intervention with empty ID", ErrValidation)
+	}
+	if iv.Cost < 0 || iv.Cost != iv.Cost {
+		return fmt.Errorf("%w: intervention %q has invalid cost %v", ErrValidation, iv.ID, iv.Cost)
+	}
+	if iv.NewEdge != nil {
+		if g.Edge(iv.NewEdge.ID) != nil {
+			return fmt.Errorf("%w: intervention %q adds duplicate edge %q", ErrValidation, iv.ID, iv.NewEdge.ID)
+		}
+		if g.Vertex(iv.NewEdge.From) == nil || g.Vertex(iv.NewEdge.To) == nil {
+			return fmt.Errorf("%w: intervention %q references unknown vertices %q→%q",
+				ErrValidation, iv.ID, iv.NewEdge.From, iv.NewEdge.To)
+		}
+		return nil
+	}
+	if g.Edge(iv.UpgradeEdge) == nil {
+		return fmt.Errorf("%w: intervention %q upgrades unknown edge %q", ErrValidation, iv.ID, iv.UpgradeEdge)
+	}
+	if !(iv.CapacityDelta > 0) {
+		return fmt.Errorf("%w: intervention %q has non-positive capacity delta %v",
+			ErrValidation, iv.ID, iv.CapacityDelta)
+	}
+	return nil
+}
+
+// ApplyInterventions returns a validated clone of g with the interventions
+// built. The input graph is never modified.
+func ApplyInterventions(g *Graph, ivs ...Intervention) (*Graph, error) {
+	c := g.Clone()
+	for _, iv := range ivs {
+		if err := iv.Validate(c); err != nil {
+			return nil, err
+		}
+		if iv.NewEdge != nil {
+			if err := c.AddEdge(*iv.NewEdge); err != nil {
+				return nil, fmt.Errorf("intervention %q: %w", iv.ID, err)
+			}
+			continue
+		}
+		c.Edge(iv.UpgradeEdge).Capacity += iv.CapacityDelta
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

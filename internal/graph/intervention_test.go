@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func ivTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New("iv-test")
+	g.MustAddVertex(Vertex{ID: "a", Supply: 10, SupplyCost: 1})
+	g.MustAddVertex(Vertex{ID: "b", Demand: 10, Price: 5})
+	g.MustAddEdge(Edge{ID: "ab", From: "a", To: "b", Capacity: 8, Kind: KindTransmission})
+	return g
+}
+
+func TestApplyInterventionsUpgrade(t *testing.T) {
+	g := ivTestGraph(t)
+	out, err := ApplyInterventions(g, Intervention{
+		ID: "ivup:ab", UpgradeEdge: "ab", CapacityDelta: 4, Cost: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Edge("ab").Capacity; got != 12 {
+		t.Errorf("upgraded capacity = %v, want 12", got)
+	}
+	if got := g.Edge("ab").Capacity; got != 8 {
+		t.Errorf("input graph mutated: capacity %v, want 8", got)
+	}
+}
+
+func TestApplyInterventionsNewEdge(t *testing.T) {
+	g := ivTestGraph(t)
+	out, err := ApplyInterventions(g, Intervention{
+		ID: "ivnew:ab", Cost: 6,
+		NewEdge: &Edge{ID: "ab2", From: "a", To: "b", Capacity: 4, Kind: KindTransmission},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Edge("ab2") == nil {
+		t.Fatal("new edge not built")
+	}
+	if g.Edge("ab2") != nil {
+		t.Fatal("input graph mutated: new edge present")
+	}
+}
+
+func TestInterventionValidation(t *testing.T) {
+	g := ivTestGraph(t)
+	bad := []Intervention{
+		{ID: "", UpgradeEdge: "ab", CapacityDelta: 1},
+		{ID: "ivup:ab", UpgradeEdge: "ab", CapacityDelta: 1, Cost: -1},
+		{ID: "ivup:missing", UpgradeEdge: "missing", CapacityDelta: 1},
+		{ID: "ivup:ab", UpgradeEdge: "ab", CapacityDelta: 0},
+		{ID: "ivup:ab", UpgradeEdge: "ab", CapacityDelta: -2},
+		{ID: "ivnew:dup", NewEdge: &Edge{ID: "ab", From: "a", To: "b", Capacity: 1}},
+		{ID: "ivnew:ghost", NewEdge: &Edge{ID: "x", From: "a", To: "ghost", Capacity: 1}},
+	}
+	for _, iv := range bad {
+		if _, err := ApplyInterventions(g, iv); !errors.Is(err, ErrValidation) {
+			t.Errorf("intervention %+v: err = %v, want ErrValidation", iv, err)
+		}
+	}
+}

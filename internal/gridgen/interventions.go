@@ -1,0 +1,141 @@
+// Candidate-intervention synthesis: the defender's redesign menu. The
+// screening stack (internal/screen) tells the defender where the grid is
+// vulnerable; this file generates the design changes she may buy to fix it
+// — capacity upgrades on existing corridors and new parallel corridors —
+// with costs proportional to the capacity built, so knapsack selection
+// under a capital budget is meaningful.
+package gridgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cpsguard/internal/graph"
+)
+
+// InterventionOptions tunes candidate generation. The zero value is usable.
+type InterventionOptions struct {
+	// UpgradeFraction is the capacity added by an upgrade, as a fraction of
+	// the edge's current capacity (default 0.5).
+	UpgradeFraction float64
+	// UpgradeRate is the capital cost per unit of upgraded capacity
+	// (default 1). Upgrades reuse the right-of-way, so they are cheap.
+	UpgradeRate float64
+	// NewEdgeRate is the capital cost per unit of new-build capacity
+	// (default 3). New corridors are expensive.
+	NewEdgeRate float64
+	// Max caps the number of candidates returned (0 = no cap). Candidates
+	// are ranked by capacity descending before the cap applies, so the
+	// largest corridors survive truncation.
+	Max int
+}
+
+func (o InterventionOptions) upgradeFraction() float64 {
+	if o.UpgradeFraction > 0 {
+		return o.UpgradeFraction
+	}
+	return 0.5
+}
+
+func (o InterventionOptions) upgradeRate() float64 {
+	if o.UpgradeRate > 0 {
+		return o.UpgradeRate
+	}
+	return 1
+}
+
+func (o InterventionOptions) newEdgeRate() float64 {
+	if o.NewEdgeRate > 0 {
+		return o.NewEdgeRate
+	}
+	return 3
+}
+
+// corridorEdge reports whether e is a long-haul corridor — the only edges
+// the redesign menu touches. Conversion edges (g2e) count too: the paper's
+// stressed system is conversion-bound, so extra gas→electric capacity is a
+// natural defensive investment.
+func corridorEdge(e *graph.Edge) bool {
+	switch e.Kind {
+	case graph.KindTransmission, graph.KindPipeline, graph.KindConversion:
+		return true
+	}
+	return false
+}
+
+// CandidateInterventions generates the defender's redesign menu for g: one
+// "ivup:<edge>" capacity upgrade per corridor edge, and one "ivnew:<edge>"
+// parallel new corridor per transmission/pipeline edge (a duplicate edge on
+// the same endpoints at half the original's capacity). Output is
+// deterministic: a pure function of the graph, sorted by candidate ID.
+func CandidateInterventions(g *graph.Graph, opts InterventionOptions) []graph.Intervention {
+	var out []graph.Intervention
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if !corridorEdge(e) || e.Capacity <= 0 {
+			continue
+		}
+		delta := e.Capacity * opts.upgradeFraction()
+		out = append(out, graph.Intervention{
+			ID:            "ivup:" + e.ID,
+			UpgradeEdge:   e.ID,
+			CapacityDelta: delta,
+			Cost:          delta * opts.upgradeRate(),
+		})
+		if e.Kind == graph.KindConversion {
+			continue // parallel g2e would just be a second upgrade
+		}
+		par := *e
+		par.ID = "par:" + e.ID
+		par.Capacity = e.Capacity * 0.5
+		out = append(out, graph.Intervention{
+			ID:      "ivnew:" + e.ID,
+			NewEdge: &par,
+			Cost:    par.Capacity * opts.newEdgeRate(),
+		})
+	}
+	if opts.Max > 0 && len(out) > opts.Max {
+		// Keep the largest-capacity candidates; tie-break on ID so the
+		// truncated menu is still deterministic.
+		sort.Slice(out, func(a, b int) bool {
+			ca, cb := candidateCap(out[a]), candidateCap(out[b])
+			if ca != cb {
+				return ca > cb
+			}
+			return out[a].ID < out[b].ID
+		})
+		out = out[:opts.Max]
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+func candidateCap(iv graph.Intervention) float64 {
+	if iv.NewEdge != nil {
+		return iv.NewEdge.Capacity
+	}
+	return iv.CapacityDelta
+}
+
+// InterventionSetDigest is a stable fingerprint of an ordered candidate
+// set, used to key sweep checkpoints and shard manifests so results from
+// different redesign menus can never be merged into one sweep.
+func InterventionSetDigest(ivs []graph.Intervention) string {
+	if len(ivs) == 0 {
+		return "none"
+	}
+	var b strings.Builder
+	for _, iv := range ivs {
+		fmt.Fprintf(&b, "%s|%g|%g;", iv.ID, candidateCap(iv), iv.Cost)
+	}
+	// FNV-1a, inlined to keep the digest format under this package's
+	// control rather than hash/fnv's.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < b.Len(); i++ {
+		h ^= uint64(b.String()[i])
+		h *= prime64
+	}
+	return fmt.Sprintf("iv%016x", h)
+}

@@ -1,0 +1,77 @@
+package gridgen
+
+import (
+	"strings"
+	"testing"
+
+	"cpsguard/internal/graph"
+)
+
+func TestCandidateInterventionsDeterministicAndBuildable(t *testing.T) {
+	g, err := Build(Config{Regions: 3, Seed: 5, Stress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := CandidateInterventions(g, InterventionOptions{})
+	b := CandidateInterventions(g, InterventionOptions{})
+	if len(a) == 0 {
+		t.Fatal("no candidates from a 3-region grid")
+	}
+	if InterventionSetDigest(a) != InterventionSetDigest(b) {
+		t.Error("two generations over the same graph differ")
+	}
+	// Every candidate must be individually buildable, and the whole menu
+	// must be jointly buildable.
+	for _, iv := range a {
+		if _, err := graph.ApplyInterventions(g, iv); err != nil {
+			t.Errorf("candidate %s unbuildable: %v", iv.ID, err)
+		}
+		if iv.Cost <= 0 {
+			t.Errorf("candidate %s has non-positive cost %v", iv.ID, iv.Cost)
+		}
+		if !strings.HasPrefix(iv.ID, "ivup:") && !strings.HasPrefix(iv.ID, "ivnew:") {
+			t.Errorf("candidate %s outside the naming convention", iv.ID)
+		}
+	}
+	if _, err := graph.ApplyInterventions(g, a...); err != nil {
+		t.Errorf("joint build of full menu failed: %v", err)
+	}
+}
+
+func TestCandidateInterventionsMaxCap(t *testing.T) {
+	g, err := Build(Config{Regions: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := CandidateInterventions(g, InterventionOptions{})
+	capped := CandidateInterventions(g, InterventionOptions{Max: 5})
+	if len(capped) != 5 {
+		t.Fatalf("Max=5 returned %d candidates", len(capped))
+	}
+	if len(full) <= 5 {
+		t.Fatalf("test needs a menu larger than the cap, got %d", len(full))
+	}
+	if InterventionSetDigest(full) == InterventionSetDigest(capped) {
+		t.Error("digest does not distinguish capped menu from full menu")
+	}
+	again := CandidateInterventions(g, InterventionOptions{Max: 5})
+	if InterventionSetDigest(capped) != InterventionSetDigest(again) {
+		t.Error("capped menu is not deterministic")
+	}
+}
+
+func TestInterventionSetDigestSensitivity(t *testing.T) {
+	g, err := Build(Config{Regions: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := CandidateInterventions(g, InterventionOptions{})
+	if InterventionSetDigest(nil) != "none" {
+		t.Errorf("empty digest = %q, want none", InterventionSetDigest(nil))
+	}
+	mutated := append([]graph.Intervention(nil), base...)
+	mutated[0].Cost++
+	if InterventionSetDigest(base) == InterventionSetDigest(mutated) {
+		t.Error("digest blind to a cost change")
+	}
+}

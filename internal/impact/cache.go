@@ -23,6 +23,7 @@ import (
 
 	"cpsguard/internal/actors"
 	"cpsguard/internal/flow"
+	"cpsguard/internal/graph"
 	"cpsguard/internal/lp"
 	"cpsguard/internal/solvecache"
 )
@@ -106,6 +107,7 @@ type baselineState struct {
 	profits actors.Profits
 	welfare float64
 	basis   *lp.Basis
+	support []string
 }
 
 // baseline resolves the baseline state, memoized in the cache when one is
@@ -115,18 +117,33 @@ func (a *Analysis) baseline(salt string) (baselineState, error) {
 	key := salt + "|baseline"
 	if a.Cache != nil {
 		if e, ok := a.Cache.Get(key); ok {
-			return baselineState{profits: e.Profits, welfare: e.Welfare, basis: e.Basis}, nil
+			return baselineState{profits: e.Profits, welfare: e.Welfare, basis: e.Basis, support: e.Support}, nil
 		}
 	}
 	p, r, err := a.Baseline()
 	if err != nil {
 		return baselineState{}, err
 	}
-	st := baselineState{profits: p, welfare: r.Welfare, basis: r.Basis}
+	st := baselineState{profits: p, welfare: r.Welfare, basis: r.Basis, support: supportOf(a.Graph, r)}
 	if a.Cache != nil {
-		a.Cache.Put(key, solvecache.Entry{Profits: p, Welfare: r.Welfare, Basis: r.Basis})
+		a.Cache.Put(key, solvecache.Entry{Profits: p, Welfare: r.Welfare, Basis: r.Basis, Support: st.support})
 	}
 	return st, nil
+}
+
+// supportOf lists the edges carrying nonzero flow in r, in g.Edges index
+// order — a deterministic dominance certificate for the N-k screen. The
+// exact-zero test is intentional: nonbasic flow variables sit exactly at
+// their zero lower bound, and the screen's soundness argument needs "zero
+// flow", not "small flow".
+func supportOf(g *graph.Graph, r *flow.Result) []string {
+	support := make([]string, 0, len(g.Edges))
+	for i := range g.Edges {
+		if r.Flow[g.Edges[i].ID] != 0 {
+			support = append(support, g.Edges[i].ID)
+		}
+	}
+	return support
 }
 
 // ofCached prices one perturbation set against the baseline, consulting the
@@ -134,16 +151,29 @@ func (a *Analysis) baseline(salt string) (baselineState, error) {
 // enabled. The delta arithmetic is shared between hit and miss paths so a
 // hit reproduces a fresh solve bit for bit.
 func (a *Analysis) ofCached(salt string, base baselineState, ps []Perturbation) (actors.Profits, float64, error) {
+	e, err := a.ofCachedEntry(salt, base, ps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return deltaProfits(e.Profits, base.profits), e.Welfare - base.welfare, nil
+}
+
+// ofCachedEntry is ofCached in absolute form: it returns the full memo
+// entry (absolute profits, welfare, basis, flow support) for one
+// perturbation set, solving and memoizing on a miss. Entries read from a
+// cache populated before support recording carry a nil Support; callers
+// needing the certificate must treat nil as "none", not "empty".
+func (a *Analysis) ofCachedEntry(salt string, base baselineState, ps []Perturbation) (solvecache.Entry, error) {
 	var key string
 	if a.Cache != nil {
 		key = salt + "|" + CanonicalKey(ps...)
 		if e, ok := a.Cache.Get(key); ok {
-			return deltaProfits(e.Profits, base.profits), e.Welfare - base.welfare, nil
+			return e, nil
 		}
 	}
 	gp, err := Apply(a.Graph, ps...)
 	if err != nil {
-		return nil, 0, err
+		return solvecache.Entry{}, err
 	}
 	var opts flow.Options
 	opts.LP.Method = a.LPMethod
@@ -152,16 +182,17 @@ func (a *Analysis) ofCached(salt string, base baselineState, ps []Perturbation) 
 	}
 	r, err := flow.DispatchOpts(gp, opts)
 	if err != nil {
-		return nil, 0, err
+		return solvecache.Entry{}, err
 	}
 	p, err := a.model().Divide(gp, r, a.Ownership)
 	if err != nil {
-		return nil, 0, err
+		return solvecache.Entry{}, err
 	}
+	e := solvecache.Entry{Profits: p, Welfare: r.Welfare, Basis: r.Basis, Support: supportOf(a.Graph, r)}
 	if a.Cache != nil {
-		a.Cache.Put(key, solvecache.Entry{Profits: p, Welfare: r.Welfare, Basis: r.Basis})
+		a.Cache.Put(key, e)
 	}
-	return deltaProfits(p, base.profits), r.Welfare - base.welfare, nil
+	return e, nil
 }
 
 // deltaProfits computes perturbed − base per actor, including actors that

@@ -150,6 +150,55 @@ func (a *Analysis) Of(ps ...Perturbation) (actors.Profits, float64, error) {
 	return a.ofCached(salt, base, ps)
 }
 
+// Evaluator amortizes the per-call salt hashing and baseline resolution of
+// Of across many evaluations on one fixed scenario. The N-k screen prices
+// thousands of perturbation sets against one baseline; paying the SHA-256
+// salt and the baseline lookup once makes each subsequent evaluation a
+// single cache probe or dispatch.
+type Evaluator struct {
+	a    *Analysis
+	salt string
+	base baselineState
+}
+
+// NewEvaluator resolves (and memoizes) the baseline and returns an
+// evaluator bound to this analysis. The underlying Analysis must not be
+// reconfigured while the evaluator is in use.
+func (a *Analysis) NewEvaluator() (*Evaluator, error) {
+	salt := a.salt()
+	base, err := a.baseline(salt)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{a: a, salt: salt, base: base}, nil
+}
+
+// BaselineWelfare is the unattacked system welfare.
+func (e *Evaluator) BaselineWelfare() float64 { return e.base.welfare }
+
+// BaselineSupport lists the edges with nonzero flow in the baseline
+// dispatch (graph edge-index order), or nil when the baseline entry came
+// from a cache that predates support recording. Callers must not mutate it.
+func (e *Evaluator) BaselineSupport() []string { return e.base.support }
+
+// Of measures one attack exactly like Analysis.Of, without re-resolving the
+// baseline.
+func (e *Evaluator) Of(ps ...Perturbation) (actors.Profits, float64, error) {
+	return e.a.ofCached(e.salt, e.base, ps)
+}
+
+// OfSupport prices one perturbation set and additionally returns the flow
+// support of the perturbed optimum — the dominance certificate consumed by
+// internal/screen. A nil support means the result was served from an entry
+// without a recorded certificate; the welfare delta is still exact.
+func (e *Evaluator) OfSupport(ps ...Perturbation) (dw float64, support []string, err error) {
+	entry, err := e.a.ofCachedEntry(e.salt, e.base, ps)
+	if err != nil {
+		return 0, nil, err
+	}
+	return entry.Welfare - e.base.welfare, entry.Support, nil
+}
+
 // Matrix is the impact matrix IM[a][t] plus bookkeeping.
 type Matrix struct {
 	// IM maps actor → target → profit delta.

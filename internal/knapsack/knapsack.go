@@ -47,10 +47,13 @@ func Solve(values, weights []float64, budget float64) ([]int, float64) {
 		items = append(items, item{i, values[i], weights[i], values[i] / weights[i]})
 	}
 	sort.Slice(items, func(a, b int) bool { return items[a].density > items[b].density })
+	mSolves.Inc()
+	mItems.Add(int64(len(items)))
 
 	best := 0.0
 	var bestSet []int
 	var cur []int
+	nodes := int64(0)
 
 	// Fractional upper bound from item k with remaining capacity.
 	upper := func(k int, cap, val float64) float64 {
@@ -67,6 +70,7 @@ func Solve(values, weights []float64, budget float64) ([]int, float64) {
 
 	var dfs func(k int, cap, val float64)
 	dfs = func(k int, cap, val float64) {
+		nodes++
 		if val > best {
 			best = val
 			bestSet = append(bestSet[:0], cur...)
@@ -86,6 +90,7 @@ func Solve(values, weights []float64, budget float64) ([]int, float64) {
 		dfs(k+1, cap, val)
 	}
 	dfs(0, budget, 0)
+	mNodes.Add(nodes)
 
 	out := append([]int(nil), bestSet...)
 	sort.Ints(out)
@@ -138,14 +143,18 @@ func SolveMulti(values []float64, weights [][]float64, budgets []float64) ([]int
 	for k := len(order) - 1; k >= 0; k-- {
 		suffix[k] = suffix[k+1] + values[order[k]]
 	}
+	mMultiSolves.Inc()
+	mItems.Add(int64(len(order)))
 
 	best := 0.0
 	var bestSet []int
 	var cur []int
 	remaining := append([]float64(nil), budgets...)
+	nodes := int64(0)
 
 	var dfs func(k int, val float64)
 	dfs = func(k int, val float64) {
+		nodes++
 		if val > best {
 			best = val
 			bestSet = append(bestSet[:0], cur...)
@@ -175,6 +184,7 @@ func SolveMulti(values []float64, weights [][]float64, budgets []float64) ([]int
 		dfs(k+1, val)
 	}
 	dfs(0, 0)
+	mNodes.Add(nodes)
 
 	out := append([]int(nil), bestSet...)
 	sort.Ints(out)

@@ -1,0 +1,14 @@
+// Telemetry instruments for the knapsack layer. Solves and branch-and-bound
+// node counts are deterministic per instance, so these counters double as
+// cheap regression tripwires: a pruning regression shows up as a node-count
+// jump long before it shows up in wall-clock time.
+package knapsack
+
+import "cpsguard/internal/telemetry"
+
+var (
+	mSolves      = telemetry.NewCounter("knapsack.solves")
+	mMultiSolves = telemetry.NewCounter("knapsack.multi_solves")
+	mItems       = telemetry.NewCounter("knapsack.items")
+	mNodes       = telemetry.NewCounter("knapsack.nodes")
+)

@@ -1,0 +1,92 @@
+// FuzzScreenPrune hammers the soundness contract with hostile inputs:
+// seeded grids degraded by fuzz-chosen capacity knockouts (including fully
+// disconnected ones), fuzzed ownership maps, and fuzzed perturbation
+// fractions that flip runs between the monotone and reorder-only regimes.
+// The invariants are absolute: screening never panics, and a pruned
+// contingency that would have beaten the reported worst case — checked by
+// comparing against the evaluate-everything oracle — is a failure.
+package screen_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cpsguard/internal/actors"
+	"cpsguard/internal/gridgen"
+	"cpsguard/internal/impact"
+	"cpsguard/internal/rng"
+	"cpsguard/internal/screen"
+	"cpsguard/internal/solvecache"
+)
+
+func FuzzScreenPrune(f *testing.F) {
+	f.Add(uint8(2), uint64(1), uint8(2), uint64(0xFF), uint64(7), 0.0)
+	f.Add(uint8(3), uint64(9), uint8(1), uint64(0xA5A5), uint64(3), 0.5)
+	f.Add(uint8(2), uint64(4), uint8(2), uint64(0), uint64(1), 1.5) // >1: non-monotone
+	f.Add(uint8(4), uint64(77), uint8(2), uint64(1<<20-1), uint64(99), 0.25)
+	f.Fuzz(func(t *testing.T, regions uint8, gseed uint64, k uint8, mask uint64, ownSeed uint64, frac float64) {
+		g, err := gridgen.Build(gridgen.Config{
+			Regions: 2 + int(regions)%3, Seed: gseed, Stress: gseed%2 == 0,
+		})
+		if err != nil {
+			t.Skip() // hostile generator config, not a screening input
+		}
+		// Degrade the grid: knock out capacities by mask bits. Zeroed
+		// corridors can disconnect whole regions — screening must cope.
+		for i := range g.Edges {
+			if mask&(1<<(uint(i)%48)) != 0 && i%3 == 0 {
+				g.Edges[i].Capacity = 0
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Skip()
+		}
+		own := actors.RandomOwnership(g, 1+int(ownSeed%5), rng.New(ownSeed))
+
+		// Candidate targets: a mask-chosen subset, capped to keep the
+		// lattice small. Perturbation values scale each edge's capacity by
+		// frac — frac ≤ 1 keeps the run monotone, frac > 1 (or NaN, or
+		// negative) must flip it to reorder-only, never to unsound pruning.
+		var targets []string
+		for i := range g.Edges {
+			if mask&(1<<((uint(i)+17)%52)) != 0 {
+				targets = append(targets, g.Edges[i].ID)
+			}
+			if len(targets) == 8 {
+				break
+			}
+		}
+		if len(targets) == 0 {
+			targets = []string{g.Edges[0].ID}
+		}
+		vector := func(id string) []impact.Perturbation {
+			e := g.Edge(id)
+			return []impact.Perturbation{{EdgeID: id, Field: impact.Capacity, Value: e.Capacity * frac}}
+		}
+
+		an := &impact.Analysis{Graph: g, Ownership: own, Cache: solvecache.New(4096)}
+		depth := 1 + int(k)%2
+		pr, prErr := screen.Run(screen.Config{Analysis: an, Targets: targets, K: depth, Vector: vector})
+		or, orErr := screen.Run(screen.Config{Analysis: an, Targets: targets, K: depth, Vector: vector, NoPrune: true})
+		if (prErr == nil) != (orErr == nil) {
+			t.Fatalf("screened err=%v, oracle err=%v — evaluation must be mode-independent", prErr, orErr)
+		}
+		if prErr != nil {
+			return // both rejected the degenerate input gracefully
+		}
+		if -or.Worst.Delta > -pr.Worst.Delta+1e-9 {
+			t.Fatalf("pruned run missed a worse contingency: oracle worst %v (%v) vs screened %v (%v)",
+				or.Worst.Targets, or.Worst.Delta, pr.Worst.Targets, pr.Worst.Delta)
+		}
+		if !reflect.DeepEqual(pr.Worst.Targets, or.Worst.Targets) || pr.Worst.Delta != or.Worst.Delta {
+			t.Fatalf("screened worst %v (%v) != oracle %v (%v)",
+				pr.Worst.Targets, pr.Worst.Delta, or.Worst.Targets, or.Worst.Delta)
+		}
+		if pr.Evaluated+pr.Pruned != or.Evaluated {
+			t.Fatalf("screened covered %d+%d sets, oracle %d", pr.Evaluated, pr.Pruned, or.Evaluated)
+		}
+		if !pr.Monotone && pr.Pruned != 0 {
+			t.Fatalf("non-monotone run pruned %d sets", pr.Pruned)
+		}
+	})
+}

@@ -44,6 +44,13 @@ type Entry struct {
 	// Basis is the optimal LP basis of the perturbed dispatch, for
 	// warm-starting structurally identical neighbours. May be nil.
 	Basis *lp.Basis
+	// Support lists the edges carrying nonzero flow in the perturbed
+	// dispatch, in graph edge-index order. It is the dominance certificate
+	// the N-k screen consumes (internal/screen): a perturbation touching
+	// only zero-flow edges cannot change this optimum. Nil when the entry
+	// predates support recording; consumers must treat nil as "no
+	// certificate", never as "empty support".
+	Support []string
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness.
